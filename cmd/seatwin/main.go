@@ -1,0 +1,182 @@
+// Command seatwin runs the full maritime digital-twin pipeline on a
+// simulated AIS feed: a fleet simulator produces position reports into
+// the embedded broker, the actor pipeline consumes them, forecasts
+// routes, detects and forecasts events, and persists state into the
+// kvstore, which is served over an HTTP API (and optionally a
+// Redis-protocol socket).
+//
+// Usage:
+//
+//	seatwin [-vessels 2000] [-region aegean|europe|global] [-model s-vrf.gob]
+//	        [-addr :8080] [-resp :6379] [-duration 0] [-seed 1]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"seatwin/internal/ais"
+	"seatwin/internal/broker"
+	"seatwin/internal/congestion"
+	"seatwin/internal/events"
+	"seatwin/internal/fleetsim"
+	"seatwin/internal/geo"
+	"seatwin/internal/kvstore"
+	"seatwin/internal/pipeline"
+	"seatwin/internal/svrf"
+)
+
+func main() {
+	var (
+		vessels   = flag.Int("vessels", 2000, "simulated fleet size")
+		region    = flag.String("region", "aegean", "aegean | europe | global")
+		modelPath = flag.String("model", "", "trained S-VRF model file (empty: linear kinematic)")
+		addr      = flag.String("addr", "127.0.0.1:8080", "HTTP API listen address")
+		respAddr  = flag.String("resp", "", "optional Redis-protocol listen address (e.g. 127.0.0.1:6379)")
+		duration  = flag.Duration("duration", 0, "run time (0 = until interrupted)")
+		seed      = flag.Int64("seed", 1, "simulation seed")
+		dataDir   = flag.String("data", "", "durable broker directory (empty = in-memory)")
+		ports     = flag.Bool("monitor-ports", false, "enable port-congestion monitoring for catalog ports in the region")
+	)
+	flag.Parse()
+
+	var box geo.BBox
+	switch *region {
+	case "aegean":
+		box = geo.AegeanSea
+	case "europe":
+		box = geo.EuropeanCoverage
+	case "global":
+		box = geo.BBox{}
+	default:
+		log.Fatalf("unknown region %q", *region)
+	}
+
+	var fc events.TrackForecaster = events.NewKinematicForecaster()
+	if *modelPath != "" {
+		m, err := svrf.LoadFile(*modelPath, svrf.DefaultConfig())
+		if err != nil {
+			log.Fatalf("load model: %v", err)
+		}
+		fc = events.SVRFForecaster{Model: m}
+		log.Printf("loaded S-VRF model from %s", *modelPath)
+	} else {
+		log.Printf("no -model given; using the linear kinematic forecaster")
+	}
+
+	store := kvstore.New()
+	defer store.Close()
+	cfg := pipeline.DefaultConfig(fc)
+	cfg.Store = store
+	if *ports {
+		for _, pt := range fleetsim.PortsWithin(regionOrGlobal(box)) {
+			cfg.Ports = append(cfg.Ports, congestion.Port{
+				Name: pt.Name, Pos: pt.Pos, Radius: 6000, Capacity: 10,
+			})
+		}
+		log.Printf("monitoring %d ports (GET /api/congestion)", len(cfg.Ports))
+	}
+	p, err := pipeline.New(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer p.Shutdown(5 * time.Second)
+
+	// Middleware: HTTP API (+ optional RESP endpoint on the store).
+	api := pipeline.NewAPI(p)
+	go func() {
+		if err := api.ListenAndServe(*addr); err != nil {
+			log.Printf("api: %v", err)
+		}
+	}()
+	defer api.Close()
+	if *respAddr != "" {
+		respSrv := kvstore.NewServer(store)
+		go func() {
+			if err := respSrv.ListenAndServe(*respAddr); err != nil {
+				log.Printf("resp: %v", err)
+			}
+		}()
+		defer respSrv.Close()
+		log.Printf("redis-protocol endpoint on %s", *respAddr)
+	}
+	log.Printf("http api on http://%s/api/stats", *addr)
+
+	// Ingestion: simulator -> broker -> pipeline consumers.
+	var br *broker.Broker
+	if *dataDir != "" {
+		broker.RegisterType(ais.PositionReport{})
+		broker.RegisterType(ais.StaticVoyage{})
+		var err error
+		br, err = broker.OpenDir(*dataDir)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer br.Close()
+		log.Printf("durable broker at %s", *dataDir)
+	} else {
+		br = broker.New()
+	}
+	const topic = "ais"
+	if err := br.CreateTopic(topic, 8); err != nil {
+		log.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		c, err := br.Subscribe(topic, "pipeline")
+		if err != nil {
+			log.Fatal(err)
+		}
+		go p.ConsumeLoop(c, time.Hour)
+	}
+
+	world := fleetsim.NewWorld(fleetsim.Config{
+		Vessels:     *vessels,
+		Seed:        *seed,
+		Region:      box,
+		KeepSailing: true,
+	})
+	log.Printf("simulating %d vessels (%s)", *vessels, *region)
+
+	stop := time.Now().Add(*duration)
+	statsEvery := time.Now().Add(5 * time.Second)
+	// The producer paces the simulation against the wall clock at an
+	// accelerated rate so a small fleet still generates live traffic.
+	for {
+		r, ok := world.Next()
+		if !ok {
+			log.Printf("simulation drained")
+			break
+		}
+		if _, _, err := br.Produce(topic, r.Pos.MMSI.String(), r.Pos); err != nil {
+			log.Fatal(err)
+		}
+		if time.Now().After(statsEvery) {
+			s := p.Stats()
+			fmt.Printf("actors=%d messages=%d forecasts=%d events=%d lat_mean=%v lat_p99=%v\n",
+				s.LiveActors, s.Messages, s.Forecasts, s.Events,
+				s.Latency.Mean.Round(time.Microsecond), s.Latency.P99.Round(time.Microsecond))
+			statsEvery = time.Now().Add(5 * time.Second)
+		}
+		if *duration > 0 && time.Now().After(stop) {
+			log.Printf("duration reached")
+			break
+		}
+	}
+	p.Drain(10 * time.Second)
+	s := p.Stats()
+	fmt.Printf("final: actors=%d messages=%d forecasts=%d events=%d\n",
+		s.LiveActors, s.Messages, s.Forecasts, s.Events)
+	os.Exit(0)
+}
+
+// regionOrGlobal maps the zero box (global) to the full latitude band
+// so the port filter still works.
+func regionOrGlobal(box geo.BBox) geo.BBox {
+	if box == (geo.BBox{}) {
+		return geo.BBox{MinLat: -90, MinLon: -180, MaxLat: 90, MaxLon: 180}
+	}
+	return box
+}

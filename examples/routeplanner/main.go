@@ -1,0 +1,96 @@
+// Routeplanner: the Figure 4a/4b view — train the EnvClus*-style
+// long-term route forecasting model on historical trips mined from a
+// simulated multi-day recording, forecast the route between two ports
+// for different vessel profiles, and print the Patterns-of-Life
+// statistics of the lane.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"seatwin/internal/fleetsim"
+	"seatwin/internal/geo"
+	"seatwin/internal/lvrf"
+)
+
+func main() {
+	// 1. Record several simulated days of Aegean traffic so vessels
+	// complete multiple port-to-port voyages.
+	ds := fleetsim.Record(geo.AegeanSea, 150, 72*time.Hour, 5)
+	log.Printf("recorded %d messages from %d vessels", ds.Messages(), len(ds.Tracks))
+
+	// 2. Mine complete trips out of the tracks.
+	ports := map[string]geo.Point{}
+	for _, p := range fleetsim.PortsWithin(geo.AegeanSea) {
+		ports[p.Name] = p.Pos
+	}
+	var trips []lvrf.Trip
+	for _, tr := range ds.Tracks {
+		in := lvrf.TrackInput{
+			MMSI: uint32(tr.Vessel.MMSI),
+			Features: lvrf.Features{
+				ShipType: uint8(tr.Vessel.Profile.Type),
+				Length:   float64(tr.Vessel.Profile.Length),
+				Draught:  tr.Vessel.Profile.Draught,
+			},
+		}
+		for _, r := range tr.Reports {
+			in.Positions = append(in.Positions, geo.Point{Lat: r.Lat, Lon: r.Lon})
+			in.Times = append(in.Times, r.Timestamp)
+		}
+		trips = append(trips, lvrf.ExtractTrips(in, ports, 6000)...)
+	}
+	log.Printf("extracted %d complete port-to-port trips", len(trips))
+
+	// 3. Train the per-OD-pair lane graphs.
+	model := lvrf.Train(trips, ports, lvrf.DefaultConfig())
+	pairs := model.Pairs()
+	log.Printf("learned lanes for %d port pairs", len(pairs))
+	if len(pairs) == 0 {
+		log.Fatal("no lanes learned — increase the recording duration")
+	}
+
+	// 4. Forecast a route on the busiest learned pair for two vessel
+	// profiles; junction classifiers may route them differently.
+	var origin, dest string
+	best := 0
+	for _, pr := range pairs {
+		if pol, err := model.PatternsOfLife(pr[0], pr[1]); err == nil && pol.Trips > best {
+			best = pol.Trips
+			origin, dest = pr[0], pr[1]
+		}
+	}
+	fmt.Printf("\nroute forecast %s -> %s\n", origin, dest)
+	cargo := lvrf.Features{ShipType: 70, Length: 190, Draught: 10.5}
+	path, err := model.ForecastRoute(origin, dest, cargo)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  cargo path, %d waypoints:\n", len(path))
+	for i := 0; i < len(path); i += max(1, len(path)/8) {
+		fmt.Printf("    %2d. %s\n", i, path[i])
+	}
+	fmt.Printf("    %2d. %s\n", len(path)-1, path[len(path)-1])
+
+	// 5. Patterns of Life: the aggregated lane statistics (Figure 4b).
+	pol, err := model.PatternsOfLife(origin, dest)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\npatterns of life, %s -> %s:\n", origin, dest)
+	fmt.Printf("  historical trips    %d (by %d distinct vessels)\n", pol.Trips, pol.DistinctMMSIs)
+	fmt.Printf("  mean duration       %v (std %v)\n",
+		pol.MeanDuration.Round(time.Minute), pol.StdDuration.Round(time.Minute))
+	fmt.Printf("  mean sailed length  %.1f NM\n", pol.MeanLengthM/1852)
+	fmt.Printf("  mean speed          %.1f kn\n", pol.MeanSpeedKn)
+	fmt.Printf("  vessel types        %v\n", pol.TypeHistogram)
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,3 @@
+module seatwin
+
+go 1.22

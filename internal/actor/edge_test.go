@@ -1,0 +1,131 @@
+package actor
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestGetOrSpawnRespawnAfterStop(t *testing.T) {
+	sys := NewSystem("t")
+	props := echoProps()
+	pid1, spawned := sys.GetOrSpawn("cell-7", props)
+	if !spawned {
+		t.Fatal("first call must spawn")
+	}
+	if err := sys.StopWait(pid1, askTimeout); err != nil {
+		t.Fatal(err)
+	}
+	pid2, spawned := sys.GetOrSpawn("cell-7", props)
+	if !spawned {
+		t.Fatal("stopped actor must be respawned")
+	}
+	if pid2 == pid1 {
+		t.Fatal("respawn returned the dead PID")
+	}
+	if _, err := sys.Ask(pid2, "alive?", askTimeout); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStopNilSafe(t *testing.T) {
+	sys := NewSystem("t")
+	sys.Stop(nil)   // no panic
+	sys.Poison(nil) // no panic
+	if err := sys.StopWait(nil, time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.PoisonWait(nil, time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	sys.Send(nil, "into the void") // dead letter, no panic
+}
+
+func TestPerActorThroughputOverride(t *testing.T) {
+	sys := NewSystem("t")
+	defer sys.Shutdown(time.Second)
+	var processed int64
+	done := make(chan struct{})
+	const n = 1000
+	props := PropsOf(func(c *Context) {
+		if _, ok := c.Message().(int); ok {
+			if atomic.AddInt64(&processed, 1) == n {
+				close(done)
+			}
+		}
+	}).WithThroughput(1) // yield after every message
+	pid := sys.Spawn(props)
+	for i := 0; i < n; i++ {
+		sys.Send(pid, i)
+	}
+	select {
+	case <-done:
+	case <-time.After(askTimeout):
+		t.Fatalf("throughput-1 actor stalled at %d/%d", atomic.LoadInt64(&processed), n)
+	}
+}
+
+func TestAskConcurrent(t *testing.T) {
+	sys := NewSystem("t")
+	defer sys.Shutdown(time.Second)
+	pid := sys.Spawn(echoProps())
+	errs := make(chan error, 32)
+	for g := 0; g < 32; g++ {
+		go func(g int) {
+			r, err := sys.Ask(pid, g, askTimeout)
+			if err == nil && r != g {
+				err = ErrTimeout
+			}
+			errs <- err
+		}(g)
+	}
+	for g := 0; g < 32; g++ {
+		if err := <-errs; err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestLifecyclePanicDoesNotBlockStop(t *testing.T) {
+	sys := NewSystem("t")
+	pid := sys.Spawn(PropsOf(func(c *Context) {
+		if _, ok := c.Message().(Stopping); ok {
+			panic("panics during shutdown")
+		}
+	}))
+	if err := sys.StopWait(pid, askTimeout); err != nil {
+		t.Fatalf("stop blocked by lifecycle panic: %v", err)
+	}
+	if pid.Alive() {
+		t.Fatal("actor still alive")
+	}
+}
+
+func TestRestartingMessageCarriesReason(t *testing.T) {
+	sys := NewSystem("t")
+	defer sys.Shutdown(time.Second)
+	got := make(chan any, 1)
+	props := PropsFromProducer(func() Actor {
+		return ReceiveFunc(func(c *Context) {
+			switch m := c.Message().(type) {
+			case Restarting:
+				select {
+				case got <- m.Reason:
+				default:
+				}
+			case string:
+				panic("kaboom-reason")
+			}
+		})
+	})
+	pid := sys.Spawn(props)
+	sys.Send(pid, "x")
+	select {
+	case reason := <-got:
+		if reason != "kaboom-reason" {
+			t.Fatalf("reason = %v", reason)
+		}
+	case <-time.After(askTimeout):
+		t.Fatal("Restarting never delivered")
+	}
+}

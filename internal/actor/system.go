@@ -1,0 +1,294 @@
+package actor
+
+import (
+	"fmt"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// System owns a tree of actors: a registry of named actors, the event
+// stream, dead-letter accounting and global defaults. One System per
+// process is the expected deployment, mirroring one Akka ActorSystem per
+// node in the paper's architecture.
+type System struct {
+	name       string
+	throughput int
+
+	nextID uint64
+
+	registry sync.Map // name -> *PID, named actors only
+	nameMu   sync.Mutex
+
+	events *EventStream
+	stats  Stats
+
+	shutdown int32
+}
+
+// Stats aggregates system-level counters. All fields are read with
+// atomic loads via Snapshot.
+type Stats struct {
+	ActorsSpawned     uint64
+	ActorsStopped     uint64
+	MessagesProcessed uint64
+	DeadLetters       uint64
+	Failures          uint64
+	Restarts          uint64
+}
+
+// NewSystem creates an actor system with the default per-run throughput
+// of 300 messages.
+func NewSystem(name string) *System {
+	return &System{name: name, throughput: 300, events: NewEventStream()}
+}
+
+// Name returns the system name.
+func (s *System) Name() string { return s.name }
+
+// Events returns the system event stream (dead letters, failures and
+// user-published events).
+func (s *System) Events() *EventStream { return s.events }
+
+// StatsSnapshot returns a consistent-enough copy of the counters.
+func (s *System) StatsSnapshot() Stats {
+	return Stats{
+		ActorsSpawned:     atomic.LoadUint64(&s.stats.ActorsSpawned),
+		ActorsStopped:     atomic.LoadUint64(&s.stats.ActorsStopped),
+		MessagesProcessed: atomic.LoadUint64(&s.stats.MessagesProcessed),
+		DeadLetters:       atomic.LoadUint64(&s.stats.DeadLetters),
+		Failures:          atomic.LoadUint64(&s.stats.Failures),
+		Restarts:          atomic.LoadUint64(&s.stats.Restarts),
+	}
+}
+
+// LiveActors returns the number of currently running actors.
+func (s *System) LiveActors() int64 {
+	snap := s.StatsSnapshot()
+	return int64(snap.ActorsSpawned) - int64(snap.ActorsStopped)
+}
+
+// Spawn starts a top-level actor with an auto-generated name.
+func (s *System) Spawn(props *Props) *PID {
+	return s.spawn(props, "", nil)
+}
+
+// SpawnNamed starts a top-level actor registered under the given unique
+// name; it fails if the name is taken.
+func (s *System) SpawnNamed(props *Props, name string) (*PID, error) {
+	return s.spawnNamed(props, name, nil)
+}
+
+// Lookup returns the PID registered under name, or nil.
+func (s *System) Lookup(name string) *PID {
+	if v, ok := s.registry.Load(name); ok {
+		pid := v.(*PID)
+		if pid.Alive() {
+			return pid
+		}
+	}
+	return nil
+}
+
+// GetOrSpawn returns the live actor registered under name, spawning it
+// from props when absent. The boolean reports whether a spawn happened.
+// This is the primitive the pipeline uses to materialise vessel actors
+// per MMSI and cell actors per hexgrid cell on first contact.
+func (s *System) GetOrSpawn(name string, props *Props) (*PID, bool) {
+	if pid := s.Lookup(name); pid != nil {
+		return pid, false
+	}
+	s.nameMu.Lock()
+	defer s.nameMu.Unlock()
+	if pid := s.Lookup(name); pid != nil {
+		return pid, false
+	}
+	pid := s.newProcess(props, name, nil)
+	s.registry.Store(name, pid)
+	pid.process.sendSystem(sysStarted{})
+	return pid, true
+}
+
+func (s *System) spawnNamed(props *Props, name string, parent *PID) (*PID, error) {
+	if name == "" {
+		return nil, fmt.Errorf("actor: empty name")
+	}
+	s.nameMu.Lock()
+	defer s.nameMu.Unlock()
+	if existing := s.Lookup(name); existing != nil {
+		return nil, fmt.Errorf("actor: name %q already registered", name)
+	}
+	pid := s.newProcess(props, name, parent)
+	s.registry.Store(name, pid)
+	pid.process.sendSystem(sysStarted{})
+	return pid, nil
+}
+
+func (s *System) spawn(props *Props, name string, parent *PID) *PID {
+	pid := s.newProcess(props, name, parent)
+	pid.process.sendSystem(sysStarted{})
+	return pid
+}
+
+func (s *System) newProcess(props *Props, name string, parent *PID) *PID {
+	id := atomic.AddUint64(&s.nextID, 1)
+	if name == "" {
+		name = "$" + strconv.FormatUint(id, 10)
+	}
+	proc := &process{
+		system: s,
+		props:  props,
+		mb:     newMailbox(),
+		actor:  props.producer(),
+		parent: parent,
+		done:   make(chan struct{}),
+	}
+	pid := &PID{id: id, name: name, process: proc}
+	proc.pid = pid
+	atomic.AddUint64(&s.stats.ActorsSpawned, 1)
+	return pid
+}
+
+func (s *System) unregister(pid *PID) {
+	if v, ok := s.registry.Load(pid.name); ok && v.(*PID) == pid {
+		s.registry.Delete(pid.name)
+	}
+}
+
+// Send delivers a fire-and-forget message with no sender.
+func (s *System) Send(target *PID, msg any) {
+	s.sendWithSender(target, msg, nil)
+}
+
+func (s *System) sendWithSender(target *PID, msg any, sender *PID) {
+	if target == nil || target.process == nil {
+		s.deadLetter(target, msg, sender)
+		return
+	}
+	target.process.sendUser(envelope{message: msg, sender: sender})
+}
+
+// Poison gracefully stops the target after every message already in
+// its mailbox has been processed (Akka's PoisonPill semantics).
+func (s *System) Poison(target *PID) {
+	if target == nil || target.process == nil {
+		return
+	}
+	target.process.sendUser(envelope{message: poisonPill{}})
+}
+
+// PoisonWait gracefully stops the target and blocks until it has fully
+// stopped or the timeout expires.
+func (s *System) PoisonWait(target *PID, timeout time.Duration) error {
+	if target == nil || target.process == nil {
+		return nil
+	}
+	s.Poison(target)
+	select {
+	case <-target.process.done:
+		return nil
+	case <-time.After(timeout):
+		return ErrTimeout
+	}
+}
+
+// Stop asynchronously stops the target and its children.
+func (s *System) Stop(target *PID) {
+	if target == nil || target.process == nil {
+		return
+	}
+	target.process.sendSystem(sysStop{})
+}
+
+// StopWait stops the target and blocks until it has fully stopped or
+// the timeout expires.
+func (s *System) StopWait(target *PID, timeout time.Duration) error {
+	if target == nil || target.process == nil {
+		return nil
+	}
+	s.Stop(target)
+	select {
+	case <-target.process.done:
+		return nil
+	case <-time.After(timeout):
+		return ErrTimeout
+	}
+}
+
+// futureActor captures the first user message into a channel.
+type futureActor struct{ ch chan any }
+
+func (f *futureActor) Receive(c *Context) {
+	switch c.Message().(type) {
+	case Started, Stopping, Stopped, Restarting:
+		return
+	}
+	select {
+	case f.ch <- c.Message():
+	default:
+	}
+	c.Stop()
+}
+
+// Ask sends msg to target and waits for a reply (sent via
+// Context.Respond or a direct Send to the internal future) for at most
+// timeout.
+func (s *System) Ask(target *PID, msg any, timeout time.Duration) (any, error) {
+	if target == nil || !target.Alive() {
+		return nil, ErrDeadLetter
+	}
+	ch := make(chan any, 1)
+	fpid := s.spawn(PropsFromProducer(func() Actor { return &futureActor{ch: ch} }), "", nil)
+	target.process.sendUser(envelope{message: msg, sender: fpid})
+	timer := time.NewTimer(timeout)
+	defer timer.Stop()
+	select {
+	case reply := <-ch:
+		return reply, nil
+	case <-timer.C:
+		s.Stop(fpid)
+		return nil, ErrTimeout
+	}
+}
+
+// SendAfter schedules msg for delivery to target after delay.
+func (s *System) SendAfter(delay time.Duration, target *PID, msg any) *time.Timer {
+	return time.AfterFunc(delay, func() {
+		if atomic.LoadInt32(&s.shutdown) == 1 {
+			return
+		}
+		s.Send(target, msg)
+	})
+}
+
+func (s *System) deadLetter(target *PID, msg any, sender *PID) {
+	atomic.AddUint64(&s.stats.DeadLetters, 1)
+	s.events.Publish(DeadLetter{Target: target, Message: msg, Sender: sender, At: time.Now()})
+}
+
+// Shutdown stops all named actors and disables timers. Anonymous
+// top-level actors not reachable from a named actor are left to drain.
+func (s *System) Shutdown(timeout time.Duration) {
+	atomic.StoreInt32(&s.shutdown, 1)
+	var pids []*PID
+	s.registry.Range(func(_, v any) bool {
+		pids = append(pids, v.(*PID))
+		return true
+	})
+	deadline := time.Now().Add(timeout)
+	for _, pid := range pids {
+		s.Stop(pid)
+	}
+	for _, pid := range pids {
+		remain := time.Until(deadline)
+		if remain <= 0 {
+			return
+		}
+		select {
+		case <-pid.process.done:
+		case <-time.After(remain):
+			return
+		}
+	}
+}

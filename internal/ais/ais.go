@@ -1,0 +1,137 @@
+// Package ais models the Automatic Identification System data the
+// whole platform ingests: position reports and static voyage data, plus
+// an NMEA 0183 AIVDM encoder/decoder implementing the ITU-R M.1371
+// bit layouts for message types 1/2/3 (class A position), 18 (class B
+// position), 5 (class A static and voyage data) and 24 (class B static,
+// parts A/B), including 6-bit payload armoring, checksums and
+// multi-fragment assembly.
+//
+// The fleet simulator emits AIVDM sentences and the ingestion layer
+// decodes them, so the pipeline exercises the same codec path a real
+// deployment does against receiver hardware.
+package ais
+
+import (
+	"fmt"
+	"time"
+)
+
+// MMSI is a Maritime Mobile Service Identity, the vessel key the
+// pipeline partitions on (one vessel actor per MMSI).
+type MMSI uint32
+
+// String renders the canonical 9-digit form.
+func (m MMSI) String() string { return fmt.Sprintf("%09d", uint32(m)) }
+
+// Valid reports whether the identity fits in 30 bits and is non-zero.
+func (m MMSI) Valid() bool { return m > 0 && m < 1<<30 }
+
+// NavStatus is the navigational status field of a position report.
+type NavStatus uint8
+
+// Navigational statuses (ITU-R M.1371 table 45).
+const (
+	StatusUnderWayEngine NavStatus = 0
+	StatusAtAnchor       NavStatus = 1
+	StatusNotUnderCmd    NavStatus = 2
+	StatusRestricted     NavStatus = 3
+	StatusConstrained    NavStatus = 4
+	StatusMoored         NavStatus = 5
+	StatusAground        NavStatus = 6
+	StatusFishing        NavStatus = 7
+	StatusUnderWaySail   NavStatus = 8
+	StatusNotDefined     NavStatus = 15
+)
+
+var navStatusNames = map[NavStatus]string{
+	StatusUnderWayEngine: "under way using engine",
+	StatusAtAnchor:       "at anchor",
+	StatusNotUnderCmd:    "not under command",
+	StatusRestricted:     "restricted manoeuvrability",
+	StatusConstrained:    "constrained by draught",
+	StatusMoored:         "moored",
+	StatusAground:        "aground",
+	StatusFishing:        "engaged in fishing",
+	StatusUnderWaySail:   "under way sailing",
+	StatusNotDefined:     "not defined",
+}
+
+func (s NavStatus) String() string {
+	if n, ok := navStatusNames[s]; ok {
+		return n
+	}
+	return fmt.Sprintf("status(%d)", uint8(s))
+}
+
+// ShipType is the AIS ship-and-cargo type code.
+type ShipType uint8
+
+// Common ship type codes (ITU-R M.1371 table 53).
+const (
+	TypeUnknown   ShipType = 0
+	TypeFishing   ShipType = 30
+	TypeTug       ShipType = 52
+	TypePilot     ShipType = 50
+	TypePleasure  ShipType = 37
+	TypeHSC       ShipType = 40
+	TypePassenger ShipType = 60
+	TypeCargo     ShipType = 70
+	TypeTanker    ShipType = 80
+)
+
+// Class describes the transponder class; class B units report less and
+// less often, which the simulator reproduces.
+type Class uint8
+
+// Transponder classes.
+const (
+	ClassA Class = iota
+	ClassB
+)
+
+// PositionReport is a decoded dynamic position message (types 1/2/3 for
+// class A, 18 for class B).
+type PositionReport struct {
+	MMSI      MMSI
+	Class     Class
+	Status    NavStatus
+	Lat       float64 // degrees
+	Lon       float64 // degrees
+	SOG       float64 // speed over ground, knots; <0 means unavailable
+	COG       float64 // course over ground, degrees; <0 means unavailable
+	Heading   int     // true heading, degrees; -1 means unavailable
+	ROT       float64 // rate of turn, degrees/min; NaN-free: ±128 sentinel handled by codec
+	Timestamp time.Time
+}
+
+// StaticVoyage is a decoded type 5 static-and-voyage message.
+type StaticVoyage struct {
+	MMSI        MMSI
+	IMO         uint32
+	Callsign    string
+	Name        string
+	ShipType    ShipType
+	DimBow      int // meters to bow from reference point
+	DimStern    int
+	DimPort     int
+	DimStarb    int
+	Draught     float64 // meters
+	Destination string
+}
+
+// Length returns the overall vessel length in meters.
+func (s StaticVoyage) Length() int { return s.DimBow + s.DimStern }
+
+// Beam returns the overall vessel beam in meters.
+func (s StaticVoyage) Beam() int { return s.DimPort + s.DimStarb }
+
+// Message is any decoded AIS payload.
+type Message interface {
+	Source() MMSI
+}
+
+// Source implements Message.
+func (p PositionReport) Source() MMSI { return p.MMSI }
+
+// Source implements Message.
+func (s StaticVoyage) Source() MMSI { return s.MMSI }

@@ -1,0 +1,480 @@
+package ais
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+var refTime = time.Date(2021, 11, 2, 10, 30, 42, 0, time.UTC)
+
+func samplePosition() PositionReport {
+	return PositionReport{
+		MMSI:      239923000,
+		Class:     ClassA,
+		Status:    StatusUnderWayEngine,
+		Lat:       37.94201,
+		Lon:       23.64599,
+		SOG:       12.3,
+		COG:       137.5,
+		Heading:   138,
+		ROT:       2.5,
+		Timestamp: refTime,
+	}
+}
+
+func sampleStatic() StaticVoyage {
+	return StaticVoyage{
+		MMSI:        239923000,
+		IMO:         9319466,
+		Callsign:    "SVBP7",
+		Name:        "BLUE STAR DELOS",
+		ShipType:    TypePassenger,
+		DimBow:      120,
+		DimStern:    25,
+		DimPort:     10,
+		DimStarb:    8,
+		Draught:     6.7,
+		Destination: "PIRAEUS",
+	}
+}
+
+func TestPositionRoundTripClassA(t *testing.T) {
+	want := samplePosition()
+	lines, err := Marshal(want, "A", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(lines) != 1 {
+		t.Fatalf("class A position must fit one sentence, got %d", len(lines))
+	}
+	if !strings.HasPrefix(lines[0], "!AIVDM,1,1,,A,") {
+		t.Fatalf("sentence = %q", lines[0])
+	}
+	msgs, err := DecodeSentences(lines, refTime)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ok := msgs[0].(PositionReport)
+	if !ok {
+		t.Fatalf("decoded %T", msgs[0])
+	}
+	if got.MMSI != want.MMSI || got.Status != want.Status || got.Class != ClassA {
+		t.Fatalf("identity fields: %+v", got)
+	}
+	if math.Abs(got.Lat-want.Lat) > 1e-5 || math.Abs(got.Lon-want.Lon) > 1e-5 {
+		t.Fatalf("position: got (%f,%f) want (%f,%f)", got.Lat, got.Lon, want.Lat, want.Lon)
+	}
+	if math.Abs(got.SOG-want.SOG) > 0.05 {
+		t.Fatalf("sog: got %f want %f", got.SOG, want.SOG)
+	}
+	if math.Abs(got.COG-want.COG) > 0.05 {
+		t.Fatalf("cog: got %f want %f", got.COG, want.COG)
+	}
+	if got.Heading != want.Heading {
+		t.Fatalf("heading: got %d want %d", got.Heading, want.Heading)
+	}
+	if got.Timestamp.Second() != want.Timestamp.Second() {
+		t.Fatalf("second: got %d want %d", got.Timestamp.Second(), want.Timestamp.Second())
+	}
+	// ROT goes through the square-root transfer curve; tolerance is wide.
+	if math.Abs(got.ROT-want.ROT) > 0.5 {
+		t.Fatalf("rot: got %f want %f", got.ROT, want.ROT)
+	}
+}
+
+func TestPositionRoundTripClassB(t *testing.T) {
+	want := samplePosition()
+	want.Class = ClassB
+	lines, err := Marshal(want, "B", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	msgs, err := DecodeSentences(lines, refTime)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := msgs[0].(PositionReport)
+	if got.Class != ClassB {
+		t.Fatalf("class = %v", got.Class)
+	}
+	if got.Status != StatusNotDefined {
+		t.Fatalf("class B has no nav status, got %v", got.Status)
+	}
+	if math.Abs(got.Lat-want.Lat) > 1e-5 || math.Abs(got.Lon-want.Lon) > 1e-5 {
+		t.Fatalf("position: (%f,%f)", got.Lat, got.Lon)
+	}
+}
+
+func TestStaticRoundTripMultiFragment(t *testing.T) {
+	want := sampleStatic()
+	lines, err := Marshal(want, "A", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(lines) < 2 {
+		t.Fatalf("type 5 must need 2+ fragments, got %d", len(lines))
+	}
+	for _, l := range lines {
+		if len(l) > 82 {
+			t.Errorf("sentence exceeds NMEA 82-char limit (%d): %q", len(l), l)
+		}
+	}
+	msgs, err := DecodeSentences(lines, refTime)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(msgs) != 1 {
+		t.Fatalf("decoded %d messages", len(msgs))
+	}
+	got := msgs[0].(StaticVoyage)
+	if got.MMSI != want.MMSI || got.IMO != want.IMO {
+		t.Fatalf("ids: %+v", got)
+	}
+	if got.Name != want.Name {
+		t.Fatalf("name: %q want %q", got.Name, want.Name)
+	}
+	if got.Callsign != want.Callsign {
+		t.Fatalf("callsign: %q want %q", got.Callsign, want.Callsign)
+	}
+	if got.Destination != want.Destination {
+		t.Fatalf("destination: %q want %q", got.Destination, want.Destination)
+	}
+	if got.ShipType != want.ShipType {
+		t.Fatalf("type: %v want %v", got.ShipType, want.ShipType)
+	}
+	if got.DimBow != want.DimBow || got.DimStern != want.DimStern {
+		t.Fatalf("dims: %+v", got)
+	}
+	if math.Abs(got.Draught-want.Draught) > 0.05 {
+		t.Fatalf("draught: %f want %f", got.Draught, want.Draught)
+	}
+	if got.Length() != 145 || got.Beam() != 18 {
+		t.Fatalf("derived dims: %d %d", got.Length(), got.Beam())
+	}
+}
+
+func TestFragmentsOutOfOrder(t *testing.T) {
+	lines, err := Marshal(sampleStatic(), "A", 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	asm := NewAssembler()
+	// Push the last fragment first.
+	for i := len(lines) - 1; i >= 0; i-- {
+		s, err := ParseSentence(lines[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, err := asm.Push(s, refTime)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i == 0 {
+			if m == nil {
+				t.Fatal("message not completed by final fragment")
+			}
+		} else if m != nil {
+			t.Fatal("message completed early")
+		}
+	}
+	if asm.Pending() != 0 {
+		t.Fatalf("pending = %d", asm.Pending())
+	}
+}
+
+func TestAssemblerEvictsStalePartials(t *testing.T) {
+	lines, _ := Marshal(sampleStatic(), "A", 1)
+	asm := NewAssembler()
+	s, _ := ParseSentence(lines[0])
+	if _, err := asm.Push(s, refTime); err != nil {
+		t.Fatal(err)
+	}
+	if asm.Pending() != 1 {
+		t.Fatalf("pending = %d", asm.Pending())
+	}
+	// A later first fragment of a *different* message (distinct msgID)
+	// creates a fresh partial and evicts the stale one.
+	lines2, _ := Marshal(sampleStatic(), "A", 2)
+	s2, _ := ParseSentence(lines2[0])
+	if _, err := asm.Push(s2, refTime.Add(time.Minute)); err != nil {
+		t.Fatal(err)
+	}
+	if asm.Pending() != 1 {
+		t.Fatalf("stale partial not evicted: pending = %d", asm.Pending())
+	}
+}
+
+func TestChecksumRejection(t *testing.T) {
+	lines, _ := Marshal(samplePosition(), "A", 0)
+	corrupted := lines[0][:20] + "x" + lines[0][21:]
+	if _, err := ParseSentence(corrupted); err == nil {
+		t.Fatal("corrupted sentence must fail checksum")
+	}
+}
+
+func TestParseSentenceRejectsMalformed(t *testing.T) {
+	bad := []string{
+		"",
+		"$GPGGA,foo*00",
+		"!AIVDM,1,1,,A,payload",  // no checksum
+		"!AIVDM,1,1,,A*7F",       // too few fields
+		"!AIVDM,0,1,,A,x,0*2A",   // zero fragments
+		"!AIVDM,1,2,,A,x,0*29",   // fragNum > fragCount
+		"!AIVDM,one,1,,A,x,0*55", // non-numeric
+	}
+	for _, line := range bad {
+		if _, err := ParseSentence(line); err == nil {
+			t.Errorf("accepted malformed %q", line)
+		}
+	}
+}
+
+func TestUnavailableFieldSentinels(t *testing.T) {
+	p := samplePosition()
+	p.SOG = -1
+	p.COG = -1
+	p.Heading = -1
+	p.ROT = math.NaN()
+	lines, err := Marshal(p, "A", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	msgs, err := DecodeSentences(lines, refTime)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := msgs[0].(PositionReport)
+	if got.SOG >= 0 {
+		t.Fatalf("sog sentinel lost: %f", got.SOG)
+	}
+	if got.COG >= 0 {
+		t.Fatalf("cog sentinel lost: %f", got.COG)
+	}
+	if got.Heading >= 0 {
+		t.Fatalf("heading sentinel lost: %d", got.Heading)
+	}
+	if !math.IsNaN(got.ROT) {
+		t.Fatalf("rot sentinel lost: %f", got.ROT)
+	}
+}
+
+func TestNegativeCoordinates(t *testing.T) {
+	p := samplePosition()
+	p.Lat = -33.85915
+	p.Lon = -70.12345
+	lines, _ := Marshal(p, "A", 0)
+	msgs, err := DecodeSentences(lines, refTime)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := msgs[0].(PositionReport)
+	if math.Abs(got.Lat-p.Lat) > 1e-5 || math.Abs(got.Lon-p.Lon) > 1e-5 {
+		t.Fatalf("got (%f,%f) want (%f,%f)", got.Lat, got.Lon, p.Lat, p.Lon)
+	}
+}
+
+func TestPositionPropertyRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for i := 0; i < 300; i++ {
+		want := PositionReport{
+			MMSI:      MMSI(rng.Intn(999999999) + 1),
+			Class:     Class(rng.Intn(2)),
+			Status:    NavStatus(rng.Intn(9)),
+			Lat:       rng.Float64()*180 - 90,
+			Lon:       rng.Float64()*360 - 180,
+			SOG:       float64(rng.Intn(1020)) / 10,
+			COG:       float64(rng.Intn(3599)) / 10,
+			Heading:   rng.Intn(360),
+			ROT:       0,
+			Timestamp: refTime.Add(time.Duration(rng.Intn(3600)) * time.Second),
+		}
+		lines, err := Marshal(want, "A", 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		msgs, err := DecodeSentences(lines, want.Timestamp)
+		if err != nil {
+			t.Fatalf("decode %+v: %v", want, err)
+		}
+		got := msgs[0].(PositionReport)
+		if got.MMSI != want.MMSI {
+			t.Fatalf("mmsi %d -> %d", want.MMSI, got.MMSI)
+		}
+		if math.Abs(got.Lat-want.Lat) > 2e-6 || math.Abs(got.Lon-want.Lon) > 2e-6 {
+			t.Fatalf("pos (%.7f,%.7f) -> (%.7f,%.7f)", want.Lat, want.Lon, got.Lat, got.Lon)
+		}
+		if math.Abs(got.SOG-want.SOG) > 0.051 {
+			t.Fatalf("sog %f -> %f", want.SOG, got.SOG)
+		}
+		if math.Abs(got.COG-want.COG) > 0.051 {
+			t.Fatalf("cog %f -> %f", want.COG, got.COG)
+		}
+	}
+}
+
+func TestSixBitCharsetRoundTrip(t *testing.T) {
+	f := func(raw string) bool {
+		// Restrict to the representable charset: uppercase + digits +
+		// common punctuation.
+		var sb strings.Builder
+		for _, r := range strings.ToUpper(raw) {
+			if (r >= 'A' && r <= 'Z') || (r >= '0' && r <= '9') || r == ' ' || r == '-' || r == '.' {
+				sb.WriteRune(r)
+			}
+		}
+		s := sb.String()
+		if len(s) > 20 {
+			s = s[:20]
+		}
+		s = strings.TrimRight(s, " ")
+		sv := sampleStatic()
+		sv.Name = s
+		lines, err := Marshal(sv, "A", 0)
+		if err != nil {
+			return false
+		}
+		msgs, err := DecodeSentences(lines, refTime)
+		if err != nil {
+			return false
+		}
+		return msgs[0].(StaticVoyage).Name == s
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestArmorRoundTripProperty(t *testing.T) {
+	f := func(data []byte, nbitSeed uint8) bool {
+		if len(data) == 0 {
+			return true
+		}
+		nbit := len(data)*8 - int(nbitSeed%8)
+		payload, fill := armorEncode(data, nbit)
+		buf, gotBits, err := armorDecode(payload, fill)
+		if err != nil || gotBits != nbit {
+			return false
+		}
+		// Compare the meaningful bits.
+		for i := 0; i < nbit; i++ {
+			b1 := data[i/8] & (1 << uint(7-i%8))
+			b2 := buf[i/8] & (1 << uint(7-i%8))
+			if (b1 == 0) != (b2 == 0) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMMSIValidity(t *testing.T) {
+	if MMSI(0).Valid() {
+		t.Error("zero MMSI must be invalid")
+	}
+	if !MMSI(239923000).Valid() {
+		t.Error("normal MMSI must be valid")
+	}
+	if MMSI(1 << 30).Valid() {
+		t.Error("MMSI over 30 bits must be invalid")
+	}
+	if MMSI(239923000).String() != "239923000" {
+		t.Errorf("string form %q", MMSI(239923000).String())
+	}
+	if MMSI(1234).String() != "000001234" {
+		t.Errorf("zero padding %q", MMSI(1234).String())
+	}
+}
+
+func TestEncodeRejectsInvalid(t *testing.T) {
+	p := samplePosition()
+	p.MMSI = 0
+	if _, _, err := EncodePosition(p); err == nil {
+		t.Error("invalid MMSI must fail")
+	}
+	p = samplePosition()
+	p.Lat = 95
+	if _, _, err := EncodePosition(p); err == nil {
+		t.Error("out-of-range latitude must fail")
+	}
+	s := sampleStatic()
+	s.MMSI = 0
+	if _, _, err := EncodeStatic(s); err == nil {
+		t.Error("invalid static MMSI must fail")
+	}
+}
+
+func TestDecodeUnsupportedType(t *testing.T) {
+	w := &bitWriter{}
+	w.writeUint(9, 6) // SAR aircraft report, unsupported
+	w.writeUint(0, 162)
+	if _, err := Decode(w.buf, w.bits(), refTime); err == nil {
+		t.Error("unsupported type must error")
+	}
+}
+
+func TestStampSecondMinuteBoundary(t *testing.T) {
+	// Received at 10:31:01, transmitted at second 58 => 10:30:58.
+	rx := time.Date(2021, 11, 2, 10, 31, 1, 0, time.UTC)
+	got := stampSecond(rx, 58)
+	want := time.Date(2021, 11, 2, 10, 30, 58, 0, time.UTC)
+	if !got.Equal(want) {
+		t.Fatalf("got %v want %v", got, want)
+	}
+	// Same minute case.
+	got = stampSecond(rx, 1)
+	want = time.Date(2021, 11, 2, 10, 31, 1, 0, time.UTC)
+	if !got.Equal(want) {
+		t.Fatalf("got %v want %v", got, want)
+	}
+	// Sentinel 60+ keeps the receive time.
+	if got := stampSecond(rx, 60); !got.Equal(rx) {
+		t.Fatalf("sentinel second: got %v", got)
+	}
+}
+
+func TestNavStatusStrings(t *testing.T) {
+	if StatusMoored.String() != "moored" {
+		t.Errorf("moored = %q", StatusMoored.String())
+	}
+	if s := NavStatus(12).String(); s != "status(12)" {
+		t.Errorf("unknown = %q", s)
+	}
+}
+
+func BenchmarkMarshalPosition(b *testing.B) {
+	p := samplePosition()
+	for i := 0; i < b.N; i++ {
+		if _, err := Marshal(p, "A", 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDecodePosition(b *testing.B) {
+	lines, _ := Marshal(samplePosition(), "A", 0)
+	s, _ := ParseSentence(lines[0])
+	asm := NewAssembler()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := asm.Push(s, refTime); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkParseSentence(b *testing.B) {
+	lines, _ := Marshal(samplePosition(), "A", 0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ParseSentence(lines[0]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

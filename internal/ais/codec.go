@@ -1,0 +1,385 @@
+package ais
+
+import (
+	"fmt"
+	"math"
+	"time"
+)
+
+// Bit-field scales from ITU-R M.1371.
+const (
+	lonScale = 600000.0 // 1/10000 arc-minute
+	latScale = 600000.0
+
+	sogUnavailable     = 1023
+	cogUnavailable     = 3600
+	headingUnavailable = 511
+	rotUnavailable     = -128
+	lonUnavailable     = 0x6791AC0 // 181 degrees
+	latUnavailable     = 0x3412140 // 91 degrees
+)
+
+// EncodePosition packs a PositionReport into message bits: type 1 for
+// class A, type 18 for class B.
+func EncodePosition(p PositionReport) ([]byte, int, error) {
+	if !p.MMSI.Valid() {
+		return nil, 0, fmt.Errorf("ais: invalid MMSI %d", p.MMSI)
+	}
+	if p.Lat < -90 || p.Lat > 90 || p.Lon < -180 || p.Lon > 180 {
+		return nil, 0, fmt.Errorf("ais: position out of range (%f, %f)", p.Lat, p.Lon)
+	}
+	w := &bitWriter{}
+	if p.Class == ClassA {
+		encodeClassA(w, p)
+	} else {
+		encodeClassB(w, p)
+	}
+	return w.buf, w.bits(), nil
+}
+
+func encodeSOG(sog float64) uint64 {
+	if sog < 0 {
+		return sogUnavailable
+	}
+	v := uint64(math.Round(sog * 10))
+	if v > 1022 {
+		v = 1022
+	}
+	return v
+}
+
+func encodeCOG(cog float64) uint64 {
+	if cog < 0 {
+		return cogUnavailable
+	}
+	v := uint64(math.Round(cog*10)) % 3600
+	return v
+}
+
+func encodeHeading(h int) uint64 {
+	if h < 0 || h > 359 {
+		return headingUnavailable
+	}
+	return uint64(h)
+}
+
+// encodeROT applies the AIS rate-of-turn transfer curve:
+// ROTais = 4.733 * sqrt(ROT deg/min), signed, clamped to ±126.
+func encodeROT(rot float64) int64 {
+	if math.IsNaN(rot) {
+		return rotUnavailable
+	}
+	v := 4.733 * math.Sqrt(math.Abs(rot))
+	if v > 126 {
+		v = 126
+	}
+	r := int64(math.Round(v))
+	if rot < 0 {
+		r = -r
+	}
+	return r
+}
+
+func decodeROT(v int64) float64 {
+	if v == rotUnavailable {
+		return math.NaN()
+	}
+	deg := float64(v) / 4.733
+	deg *= deg
+	if v < 0 {
+		deg = -deg
+	}
+	return deg
+}
+
+func encodeClassA(w *bitWriter, p PositionReport) {
+	w.writeUint(1, 6)                                 // message type 1
+	w.writeUint(0, 2)                                 // repeat indicator
+	w.writeUint(uint64(p.MMSI), 30)                   // MMSI
+	w.writeUint(uint64(p.Status), 4)                  // navigational status
+	w.writeInt(encodeROT(p.ROT), 8)                   // rate of turn
+	w.writeUint(encodeSOG(p.SOG), 10)                 // speed over ground
+	w.writeUint(1, 1)                                 // position accuracy: high
+	w.writeInt(int64(math.Round(p.Lon*lonScale)), 28) // longitude
+	w.writeInt(int64(math.Round(p.Lat*latScale)), 27) // latitude
+	w.writeUint(encodeCOG(p.COG), 12)                 // course over ground
+	w.writeUint(encodeHeading(p.Heading), 9)
+	w.writeUint(uint64(p.Timestamp.Second())%60, 6) // UTC second
+	w.writeUint(0, 2)                               // maneuver indicator
+	w.writeUint(0, 3)                               // spare
+	w.writeUint(0, 1)                               // RAIM
+	w.writeUint(0, 19)                              // radio status
+}
+
+func encodeClassB(w *bitWriter, p PositionReport) {
+	w.writeUint(18, 6)                // message type 18
+	w.writeUint(0, 2)                 // repeat indicator
+	w.writeUint(uint64(p.MMSI), 30)   // MMSI
+	w.writeUint(0, 8)                 // regional reserved
+	w.writeUint(encodeSOG(p.SOG), 10) // speed over ground
+	w.writeUint(1, 1)                 // position accuracy
+	w.writeInt(int64(math.Round(p.Lon*lonScale)), 28)
+	w.writeInt(int64(math.Round(p.Lat*latScale)), 27)
+	w.writeUint(encodeCOG(p.COG), 12)
+	w.writeUint(encodeHeading(p.Heading), 9)
+	w.writeUint(uint64(p.Timestamp.Second())%60, 6)
+	w.writeUint(0, 2)  // regional reserved
+	w.writeUint(1, 1)  // CS unit: carrier sense
+	w.writeUint(0, 1)  // display flag
+	w.writeUint(0, 1)  // DSC flag
+	w.writeUint(1, 1)  // band flag
+	w.writeUint(0, 1)  // message 22 flag
+	w.writeUint(0, 1)  // assigned mode
+	w.writeUint(0, 1)  // RAIM
+	w.writeUint(0, 20) // radio status
+}
+
+// EncodeStatic packs a StaticVoyage into type 5 message bits.
+func EncodeStatic(s StaticVoyage) ([]byte, int, error) {
+	if !s.MMSI.Valid() {
+		return nil, 0, fmt.Errorf("ais: invalid MMSI %d", s.MMSI)
+	}
+	w := &bitWriter{}
+	w.writeUint(5, 6)               // message type 5
+	w.writeUint(0, 2)               // repeat indicator
+	w.writeUint(uint64(s.MMSI), 30) // MMSI
+	w.writeUint(0, 2)               // AIS version
+	w.writeUint(uint64(s.IMO), 30)  // IMO number
+	w.writeString(s.Callsign, 7)    // callsign, 42 bits
+	w.writeString(s.Name, 20)       // name, 120 bits
+	w.writeUint(uint64(s.ShipType), 8)
+	w.writeUint(clampDim(s.DimBow, 511), 9)
+	w.writeUint(clampDim(s.DimStern, 511), 9)
+	w.writeUint(clampDim(s.DimPort, 63), 6)
+	w.writeUint(clampDim(s.DimStarb, 63), 6)
+	w.writeUint(1, 4)                        // EPFD: GPS
+	w.writeUint(0, 4)                        // ETA month
+	w.writeUint(0, 5)                        // ETA day
+	w.writeUint(24, 5)                       // ETA hour: unavailable
+	w.writeUint(60, 6)                       // ETA minute: unavailable
+	w.writeUint(encodeDraught(s.Draught), 8) // draught, 0.1m
+	w.writeString(s.Destination, 20)         // destination, 120 bits
+	w.writeUint(0, 1)                        // DTE
+	w.writeUint(0, 1)                        // spare
+	return w.buf, w.bits(), nil
+}
+
+func clampDim(v, max int) uint64 {
+	if v < 0 {
+		return 0
+	}
+	if v > max {
+		v = max
+	}
+	return uint64(v)
+}
+
+func encodeDraught(d float64) uint64 {
+	if d < 0 {
+		return 0
+	}
+	v := uint64(math.Round(d * 10))
+	if v > 255 {
+		v = 255
+	}
+	return v
+}
+
+// EncodeStatic24A packs the class B static report part A (vessel name).
+func EncodeStatic24A(s StaticVoyage) ([]byte, int, error) {
+	if !s.MMSI.Valid() {
+		return nil, 0, fmt.Errorf("ais: invalid MMSI %d", s.MMSI)
+	}
+	w := &bitWriter{}
+	w.writeUint(24, 6)              // message type
+	w.writeUint(0, 2)               // repeat
+	w.writeUint(uint64(s.MMSI), 30) // MMSI
+	w.writeUint(0, 2)               // part number A
+	w.writeString(s.Name, 20)       // name, 120 bits
+	return w.buf, w.bits(), nil
+}
+
+// EncodeStatic24B packs the class B static report part B (type,
+// callsign, dimensions).
+func EncodeStatic24B(s StaticVoyage) ([]byte, int, error) {
+	if !s.MMSI.Valid() {
+		return nil, 0, fmt.Errorf("ais: invalid MMSI %d", s.MMSI)
+	}
+	w := &bitWriter{}
+	w.writeUint(24, 6)
+	w.writeUint(0, 2)
+	w.writeUint(uint64(s.MMSI), 30)
+	w.writeUint(1, 2) // part number B
+	w.writeUint(uint64(s.ShipType), 8)
+	w.writeString("", 3)         // vendor ID, 18 bits
+	w.writeUint(0, 4)            // unit model
+	w.writeUint(0, 20)           // serial number
+	w.writeString(s.Callsign, 7) // 42 bits
+	w.writeUint(clampDim(s.DimBow, 511), 9)
+	w.writeUint(clampDim(s.DimStern, 511), 9)
+	w.writeUint(clampDim(s.DimPort, 63), 6)
+	w.writeUint(clampDim(s.DimStarb, 63), 6)
+	w.writeUint(0, 6) // spare
+	return w.buf, w.bits(), nil
+}
+
+// decodeStatic24 parses either part of a class B static report into a
+// partially filled StaticVoyage (part A carries the name, part B the
+// type, callsign and dimensions). Consumers merge the parts by MMSI.
+func decodeStatic24(r *bitReader, nbit int) (Message, error) {
+	if nbit < 160 {
+		return nil, fmt.Errorf("ais: type 24 needs 160+ bits, got %d", nbit)
+	}
+	var s StaticVoyage
+	r.readUint(2) // repeat
+	s.MMSI = MMSI(r.readUint(30))
+	part := r.readUint(2)
+	switch part {
+	case 0:
+		s.Name = r.readString(20)
+	case 1:
+		if nbit < 168 {
+			return nil, fmt.Errorf("ais: type 24 part B needs 168 bits, got %d", nbit)
+		}
+		s.ShipType = ShipType(r.readUint(8))
+		r.readUint(18 + 4 + 20) // vendor, model, serial
+		s.Callsign = r.readString(7)
+		s.DimBow = int(r.readUint(9))
+		s.DimStern = int(r.readUint(9))
+		s.DimPort = int(r.readUint(6))
+		s.DimStarb = int(r.readUint(6))
+	default:
+		return nil, fmt.Errorf("ais: type 24 part %d unsupported", part)
+	}
+	if r.fail {
+		return nil, fmt.Errorf("ais: truncated type 24")
+	}
+	return s, nil
+}
+
+// Decode parses message bits into a typed AIS message. The receivedAt
+// time stamps the decoded report (AIS carries only the UTC second).
+func Decode(buf []byte, nbit int, receivedAt time.Time) (Message, error) {
+	r := &bitReader{buf: buf}
+	msgType := r.readUint(6)
+	switch msgType {
+	case 1, 2, 3:
+		return decodeClassA(r, nbit, receivedAt)
+	case 18:
+		return decodeClassB(r, nbit, receivedAt)
+	case 5:
+		return decodeStatic(r, nbit)
+	case 24:
+		return decodeStatic24(r, nbit)
+	default:
+		return nil, fmt.Errorf("ais: unsupported message type %d", msgType)
+	}
+}
+
+func decodeClassA(r *bitReader, nbit int, receivedAt time.Time) (Message, error) {
+	if nbit < 168 {
+		return nil, fmt.Errorf("ais: class A position needs 168 bits, got %d", nbit)
+	}
+	var p PositionReport
+	p.Class = ClassA
+	r.readUint(2) // repeat
+	p.MMSI = MMSI(r.readUint(30))
+	p.Status = NavStatus(r.readUint(4))
+	p.ROT = decodeROT(r.readInt(8))
+	p.SOG = decodeSOG(r.readUint(10))
+	r.readUint(1) // accuracy
+	p.Lon = float64(r.readInt(28)) / lonScale
+	p.Lat = float64(r.readInt(27)) / latScale
+	p.COG = decodeCOG(r.readUint(12))
+	p.Heading = decodeHeading(r.readUint(9))
+	p.Timestamp = stampSecond(receivedAt, int(r.readUint(6)))
+	if r.fail {
+		return nil, fmt.Errorf("ais: truncated class A position")
+	}
+	return p, nil
+}
+
+func decodeClassB(r *bitReader, nbit int, receivedAt time.Time) (Message, error) {
+	if nbit < 168 {
+		return nil, fmt.Errorf("ais: class B position needs 168 bits, got %d", nbit)
+	}
+	var p PositionReport
+	p.Class = ClassB
+	p.Status = StatusNotDefined
+	p.ROT = math.NaN()
+	r.readUint(2) // repeat
+	p.MMSI = MMSI(r.readUint(30))
+	r.readUint(8) // reserved
+	p.SOG = decodeSOG(r.readUint(10))
+	r.readUint(1) // accuracy
+	p.Lon = float64(r.readInt(28)) / lonScale
+	p.Lat = float64(r.readInt(27)) / latScale
+	p.COG = decodeCOG(r.readUint(12))
+	p.Heading = decodeHeading(r.readUint(9))
+	p.Timestamp = stampSecond(receivedAt, int(r.readUint(6)))
+	if r.fail {
+		return nil, fmt.Errorf("ais: truncated class B position")
+	}
+	return p, nil
+}
+
+func decodeStatic(r *bitReader, nbit int) (Message, error) {
+	if nbit < 420 {
+		return nil, fmt.Errorf("ais: static voyage needs 420+ bits, got %d", nbit)
+	}
+	var s StaticVoyage
+	r.readUint(2) // repeat
+	s.MMSI = MMSI(r.readUint(30))
+	r.readUint(2) // version
+	s.IMO = uint32(r.readUint(30))
+	s.Callsign = r.readString(7)
+	s.Name = r.readString(20)
+	s.ShipType = ShipType(r.readUint(8))
+	s.DimBow = int(r.readUint(9))
+	s.DimStern = int(r.readUint(9))
+	s.DimPort = int(r.readUint(6))
+	s.DimStarb = int(r.readUint(6))
+	r.readUint(4)             // EPFD
+	r.readUint(4 + 5 + 5 + 6) // ETA
+	s.Draught = float64(r.readUint(8)) / 10
+	s.Destination = r.readString(20)
+	if r.fail {
+		return nil, fmt.Errorf("ais: truncated static voyage")
+	}
+	return s, nil
+}
+
+func decodeSOG(v uint64) float64 {
+	if v == sogUnavailable {
+		return -1
+	}
+	return float64(v) / 10
+}
+
+func decodeCOG(v uint64) float64 {
+	if v >= cogUnavailable {
+		return -1
+	}
+	return float64(v) / 10
+}
+
+func decodeHeading(v uint64) int {
+	if v == headingUnavailable {
+		return -1
+	}
+	return int(v)
+}
+
+// stampSecond replaces the second of receivedAt with the transmitted
+// UTC second, stepping back a minute when the transmission straddled a
+// minute boundary. Seconds >= 60 are "unavailable" sentinels.
+func stampSecond(receivedAt time.Time, sec int) time.Time {
+	if sec >= 60 {
+		return receivedAt
+	}
+	t := receivedAt.Truncate(time.Minute).Add(time.Duration(sec) * time.Second)
+	if t.After(receivedAt.Add(2 * time.Second)) {
+		t = t.Add(-time.Minute)
+	}
+	return t
+}

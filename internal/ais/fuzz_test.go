@@ -1,0 +1,84 @@
+package ais
+
+import (
+	"testing"
+	"time"
+)
+
+// FuzzParseSentence hardens the NMEA parser against arbitrary receiver
+// garbage: it must never panic, and accepted sentences must re-parse
+// consistently.
+func FuzzParseSentence(f *testing.F) {
+	lines, _ := Marshal(samplePosition(), "A", 0)
+	f.Add(lines[0])
+	static, _ := Marshal(sampleStatic(), "B", 3)
+	for _, l := range static {
+		f.Add(l)
+	}
+	f.Add("!AIVDM,1,1,,A,,0*26")
+	f.Add("!AIVDM,2,1,3,B,55P5TL01VIaAL@7WKO@mBplU@<PDhh000000001S;AJ::4A80?4i@E53,0*3E")
+	f.Add("$GPGGA,123519,4807.038,N,01131.000,E,1,08,0.9,545.4,M,46.9,M,,*47")
+	f.Add("")
+	f.Add("!AIVDM,1,1,,A")
+	f.Fuzz(func(t *testing.T, line string) {
+		s, err := ParseSentence(line)
+		if err != nil {
+			return
+		}
+		// Accepted sentences have sane fragment fields.
+		if s.FragCount < 1 || s.FragNum < 1 || s.FragNum > s.FragCount {
+			t.Fatalf("accepted inconsistent fragments: %+v", s)
+		}
+		if s.FillBits < 0 || s.FillBits > 5 {
+			t.Fatalf("accepted bad fill bits: %+v", s)
+		}
+	})
+}
+
+// FuzzAssembler feeds arbitrary (possibly valid) sentences through the
+// multi-fragment assembler and decoder: no panics, no unbounded state.
+func FuzzAssembler(f *testing.F) {
+	pos, _ := Marshal(samplePosition(), "A", 0)
+	static, _ := Marshal(sampleStatic(), "A", 1)
+	f.Add(pos[0], static[0], static[1])
+	f.Add(static[1], static[0], pos[0])
+	f.Add("junk", "!AIVDM,1,1,,A,x,0*29", "")
+	f.Fuzz(func(t *testing.T, l1, l2, l3 string) {
+		asm := NewAssembler()
+		now := time.Date(2023, 1, 1, 0, 0, 0, 0, time.UTC)
+		for _, line := range []string{l1, l2, l3} {
+			s, err := ParseSentence(line)
+			if err != nil {
+				continue
+			}
+			msg, err := asm.Push(s, now)
+			if err != nil || msg == nil {
+				continue
+			}
+			if !msg.Source().Valid() && msg.Source() != 0 {
+				// Source may be zero for garbage payloads but must not
+				// exceed 30 bits (the decoder masks it).
+				t.Fatalf("decoded out-of-range MMSI %d", msg.Source())
+			}
+		}
+		if asm.Pending() > 3 {
+			t.Fatalf("assembler leaked %d partials from 3 lines", asm.Pending())
+		}
+	})
+}
+
+// FuzzArmorDecode hardens the 6-bit payload decoder.
+func FuzzArmorDecode(f *testing.F) {
+	f.Add("177KQJ5000G?tO`K>RA1wUbN0TKH", 0)
+	f.Add("", 0)
+	f.Add("w", 5)
+	f.Fuzz(func(t *testing.T, payload string, fill int) {
+		buf, nbit, err := armorDecode(payload, fill)
+		if err != nil {
+			return
+		}
+		if nbit < 0 || nbit > len(buf)*8 {
+			t.Fatalf("bit count %d out of range for %d bytes", nbit, len(buf))
+		}
+	})
+}

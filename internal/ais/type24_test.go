@@ -1,0 +1,81 @@
+package ais
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestClassBStaticRoundTrip(t *testing.T) {
+	want := StaticVoyage{
+		MMSI:     239555000,
+		Name:     "BLUE PLEASURE 9",
+		Callsign: "SVQQ1",
+		ShipType: TypePleasure,
+		DimBow:   9,
+		DimStern: 5,
+		DimPort:  2,
+		DimStarb: 2,
+	}
+	lines, err := MarshalClassBStatic(want, "B")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(lines) != 2 {
+		t.Fatalf("class B static must be two sentences, got %d", len(lines))
+	}
+	for _, l := range lines {
+		if !strings.HasPrefix(l, "!AIVDM,1,1,") {
+			t.Fatalf("part not single-fragment: %q", l)
+		}
+		if len(l) > 82 {
+			t.Fatalf("sentence too long: %d", len(l))
+		}
+	}
+	msgs, err := DecodeSentences(lines, refTime)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(msgs) != 2 {
+		t.Fatalf("decoded %d messages", len(msgs))
+	}
+	partA := msgs[0].(StaticVoyage)
+	partB := msgs[1].(StaticVoyage)
+	if partA.MMSI != want.MMSI || partB.MMSI != want.MMSI {
+		t.Fatalf("MMSI mismatch: %v / %v", partA.MMSI, partB.MMSI)
+	}
+	if partA.Name != want.Name {
+		t.Fatalf("part A name %q", partA.Name)
+	}
+	if partA.ShipType != 0 || partA.Callsign != "" {
+		t.Fatalf("part A must not carry part B fields: %+v", partA)
+	}
+	if partB.ShipType != want.ShipType || partB.Callsign != want.Callsign {
+		t.Fatalf("part B fields: %+v", partB)
+	}
+	if partB.DimBow != want.DimBow || partB.DimStern != want.DimStern ||
+		partB.DimPort != want.DimPort || partB.DimStarb != want.DimStarb {
+		t.Fatalf("part B dimensions: %+v", partB)
+	}
+	if partB.Name != "" {
+		t.Fatalf("part B must not carry the name: %q", partB.Name)
+	}
+}
+
+func TestType24RejectsInvalid(t *testing.T) {
+	if _, _, err := EncodeStatic24A(StaticVoyage{MMSI: 0}); err == nil {
+		t.Error("part A with invalid MMSI must fail")
+	}
+	if _, _, err := EncodeStatic24B(StaticVoyage{MMSI: 0}); err == nil {
+		t.Error("part B with invalid MMSI must fail")
+	}
+	// Truncated part B.
+	w := &bitWriter{}
+	w.writeUint(24, 6)
+	w.writeUint(0, 2)
+	w.writeUint(239555000, 30)
+	w.writeUint(1, 2) // part B flag, but no body
+	w.writeUint(0, 120)
+	if _, err := Decode(w.buf, w.bits(), refTime); err == nil {
+		t.Error("truncated part B must fail")
+	}
+}

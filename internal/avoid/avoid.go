@@ -1,0 +1,142 @@
+// Package avoid implements the automated rerouting for vessel
+// collision avoidance the paper lists as future work (§7): given a
+// forecast collision between own ship and a target, it searches the
+// smallest course alteration (with a COLREGs-flavoured preference for
+// turning to starboard) that lifts the predicted closest point of
+// approach above a safe separation, validating each candidate against
+// the same trajectory-intersection test the collision forecaster uses.
+package avoid
+
+import (
+	"time"
+
+	"seatwin/internal/ais"
+	"seatwin/internal/events"
+	"seatwin/internal/geo"
+)
+
+// OwnShip is the manoeuvring vessel's current state.
+type OwnShip struct {
+	MMSI ais.MMSI
+	Pos  geo.Point
+	SOG  float64 // knots
+	COG  float64 // degrees
+	At   time.Time
+}
+
+// Config tunes the search.
+type Config struct {
+	// SafeDistanceMeters is the CPA the manoeuvre must achieve.
+	SafeDistanceMeters float64
+	// MaxAlterationDeg bounds the course change considered.
+	MaxAlterationDeg float64
+	// StepDeg is the granularity of candidate alterations.
+	StepDeg float64
+	// Horizons and HorizonStep shape the projected own-ship track
+	// (defaults mirror the S-VRF geometry: 6 x 5 minutes).
+	Horizons    int
+	HorizonStep time.Duration
+	// TemporalThreshold matches the collision forecaster's setting.
+	TemporalThreshold time.Duration
+}
+
+// DefaultConfig uses a 1 NM safe distance and up to 60 degrees of
+// alteration in 10-degree steps.
+func DefaultConfig() Config {
+	return Config{
+		SafeDistanceMeters: 1852,
+		MaxAlterationDeg:   60,
+		StepDeg:            10,
+		Horizons:           6,
+		HorizonStep:        5 * time.Minute,
+		TemporalThreshold:  2 * time.Minute,
+	}
+}
+
+// Maneuver is a proposed course alteration.
+type Maneuver struct {
+	// AlterationDeg is the signed course change (positive = starboard).
+	AlterationDeg float64
+	// NewCOG is the resulting course.
+	NewCOG float64
+	// PredictedCPAMeters is the closest approach the altered track
+	// achieves against the target's forecast.
+	PredictedCPAMeters float64
+}
+
+// project builds the own-ship forecast for a candidate course.
+func project(own OwnShip, cog float64, cfg Config) events.Forecast {
+	f := events.Forecast{MMSI: own.MMSI}
+	f.Points = append(f.Points, events.ForecastPoint{Pos: own.Pos, At: own.At})
+	for h := 1; h <= cfg.Horizons; h++ {
+		dt := time.Duration(h) * cfg.HorizonStep
+		f.Points = append(f.Points, events.ForecastPoint{
+			Pos: geo.DeadReckon(own.Pos, own.SOG, cog, dt.Seconds()),
+			At:  own.At.Add(dt),
+		})
+	}
+	return f
+}
+
+// cpaAgainst returns the minimal temporally-compatible separation of a
+// candidate own-ship track against every target forecast.
+func cpaAgainst(candidate events.Forecast, targets []events.Forecast, cfg Config) float64 {
+	check := events.CollisionConfig{
+		TemporalThreshold: cfg.TemporalThreshold,
+		// Wide spatial threshold so CheckPair reports the true CPA
+		// rather than saturating at the alarm radius.
+		SpatialThresholdMeters: 50 * 1852,
+	}
+	minSep := check.SpatialThresholdMeters
+	for _, tgt := range targets {
+		if tgt.MMSI == candidate.MMSI {
+			continue
+		}
+		if e, ok := events.CheckPair(candidate, tgt, check); ok && e.Meters < minSep {
+			minSep = e.Meters
+		}
+	}
+	return minSep
+}
+
+// Suggest searches for the smallest course alteration that clears all
+// target forecasts. needed is false when the current course is already
+// safe; found is false when no alteration within the bounds clears the
+// safe distance (the caller should then consider speed changes or a
+// round turn).
+func Suggest(own OwnShip, targets []events.Forecast, cfg Config) (m Maneuver, needed, found bool) {
+	if cfg.SafeDistanceMeters <= 0 {
+		cfg = DefaultConfig()
+	}
+	current := cpaAgainst(project(own, own.COG, cfg), targets, cfg)
+	if current >= cfg.SafeDistanceMeters {
+		return Maneuver{NewCOG: own.COG, PredictedCPAMeters: current}, false, true
+	}
+	// Candidate alterations ordered by magnitude, starboard first at
+	// each magnitude (COLREGs rule 14/15 preference).
+	for mag := cfg.StepDeg; mag <= cfg.MaxAlterationDeg; mag += cfg.StepDeg {
+		for _, sign := range []float64{1, -1} {
+			alt := sign * mag
+			cog := norm360(own.COG + alt)
+			cpa := cpaAgainst(project(own, cog, cfg), targets, cfg)
+			if cpa >= cfg.SafeDistanceMeters {
+				return Maneuver{
+					AlterationDeg:      alt,
+					NewCOG:             cog,
+					PredictedCPAMeters: cpa,
+				}, true, true
+			}
+		}
+	}
+	return Maneuver{}, true, false
+}
+
+func norm360(deg float64) float64 {
+	for deg < 0 {
+		deg += 360
+	}
+	for deg >= 360 {
+		deg -= 360
+	}
+	return deg
+}

@@ -1,0 +1,148 @@
+package avoid
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"seatwin/internal/ais"
+	"seatwin/internal/events"
+	"seatwin/internal/geo"
+)
+
+var t0 = time.Date(2026, 7, 5, 9, 0, 0, 0, time.UTC)
+
+func lineForecast(mmsi ais.MMSI, start geo.Point, cog, sog float64) events.Forecast {
+	f := events.Forecast{MMSI: mmsi}
+	for h := 0; h <= 6; h++ {
+		dt := time.Duration(h) * 5 * time.Minute
+		f.Points = append(f.Points, events.ForecastPoint{
+			Pos: geo.DeadReckon(start, sog, cog, dt.Seconds()),
+			At:  t0.Add(dt),
+		})
+	}
+	return f
+}
+
+func TestNoManeuverWhenAlreadySafe(t *testing.T) {
+	own := OwnShip{MMSI: 1, Pos: geo.Point{Lat: 37.5, Lon: 24.5}, SOG: 12, COG: 0, At: t0}
+	// Target 20 NM east heading away.
+	tgt := lineForecast(2, geo.Destination(own.Pos, 90, 20*1852), 90, 12)
+	m, needed, found := Suggest(own, []events.Forecast{tgt}, DefaultConfig())
+	if needed {
+		t.Fatalf("maneuver demanded while safe: %+v", m)
+	}
+	if !found || m.NewCOG != own.COG {
+		t.Fatalf("safe case must keep course: %+v", m)
+	}
+	if m.PredictedCPAMeters < DefaultConfig().SafeDistanceMeters {
+		t.Fatalf("reported CPA %f below safe distance", m.PredictedCPAMeters)
+	}
+}
+
+func TestHeadOnSuggestsStarboard(t *testing.T) {
+	// Classic rule 14 geometry: reciprocal courses, meeting in ~15 min.
+	meet := geo.Point{Lat: 37.5, Lon: 24.5}
+	own := OwnShip{MMSI: 1, Pos: geo.DeadReckon(meet, 12, 270, 900), SOG: 12, COG: 90, At: t0}
+	tgt := lineForecast(2, geo.DeadReckon(meet, 12, 90, 900), 270, 12)
+
+	m, needed, found := Suggest(own, []events.Forecast{tgt}, DefaultConfig())
+	if !needed {
+		t.Fatal("head-on collision course must need a maneuver")
+	}
+	if !found {
+		t.Fatal("no maneuver found for a simple head-on")
+	}
+	if m.AlterationDeg <= 0 {
+		t.Fatalf("head-on must prefer starboard, got %+v", m)
+	}
+	if m.PredictedCPAMeters < 1852 {
+		t.Fatalf("maneuver does not clear: CPA %f", m.PredictedCPAMeters)
+	}
+	// The suggested course is the own course plus the alteration.
+	if math.Abs(m.NewCOG-norm360(own.COG+m.AlterationDeg)) > 1e-9 {
+		t.Fatalf("inconsistent maneuver %+v", m)
+	}
+}
+
+func TestManeuverIsMinimal(t *testing.T) {
+	meet := geo.Point{Lat: 37.5, Lon: 24.5}
+	own := OwnShip{MMSI: 1, Pos: geo.DeadReckon(meet, 12, 270, 900), SOG: 12, COG: 90, At: t0}
+	tgt := lineForecast(2, geo.DeadReckon(meet, 12, 90, 900), 270, 12)
+	cfg := DefaultConfig()
+	m, _, found := Suggest(own, []events.Forecast{tgt}, cfg)
+	if !found {
+		t.Fatal("no maneuver")
+	}
+	// Every smaller alteration (in either direction) must fail to clear.
+	for mag := cfg.StepDeg; mag < math.Abs(m.AlterationDeg); mag += cfg.StepDeg {
+		for _, sign := range []float64{1, -1} {
+			cog := norm360(own.COG + sign*mag)
+			cpa := cpaAgainst(project(own, cog, cfg), []events.Forecast{tgt}, cfg)
+			if cpa >= cfg.SafeDistanceMeters {
+				t.Fatalf("smaller alteration %f would clear (CPA %f) but %f was chosen",
+					sign*mag, cpa, m.AlterationDeg)
+			}
+		}
+	}
+}
+
+func TestMultipleTargets(t *testing.T) {
+	// A starboard turn that clears target 1 runs into target 2; the
+	// search must find an alteration clearing both.
+	own := OwnShip{MMSI: 1, Pos: geo.Point{Lat: 37.5, Lon: 24.0}, SOG: 12, COG: 90, At: t0}
+	// Target dead ahead, head-on.
+	t1 := lineForecast(2, geo.DeadReckon(own.Pos, 12, 90, 1800), 270, 12)
+	// Target converging from the south (blocking a starboard escape).
+	southPos := geo.Destination(geo.DeadReckon(own.Pos, 12, 90, 900), 170, 6000)
+	t2 := lineForecast(3, southPos, 350, 12)
+
+	m, needed, found := Suggest(own, []events.Forecast{t1, t2}, DefaultConfig())
+	if !needed || !found {
+		t.Fatalf("needed=%v found=%v", needed, found)
+	}
+	cpa := cpaAgainst(project(own, m.NewCOG, DefaultConfig()),
+		[]events.Forecast{t1, t2}, DefaultConfig())
+	if cpa < 1852 {
+		t.Fatalf("chosen maneuver does not clear both targets: CPA %f", cpa)
+	}
+}
+
+func TestNoSolutionWithinBounds(t *testing.T) {
+	// Surround own ship with converging targets from every direction:
+	// no 60-degree alteration can clear them all.
+	own := OwnShip{MMSI: 1, Pos: geo.Point{Lat: 37.5, Lon: 24.5}, SOG: 10, COG: 0, At: t0}
+	var targets []events.Forecast
+	for b := 0.0; b < 360; b += 30 {
+		start := geo.Destination(own.Pos, b, 6000)
+		targets = append(targets, lineForecast(ais.MMSI(100+int(b)), start, norm360(b+180), 10))
+	}
+	_, needed, found := Suggest(own, targets, DefaultConfig())
+	if !needed {
+		t.Fatal("encirclement must need a maneuver")
+	}
+	if found {
+		t.Fatal("encirclement must not be solvable by course change alone")
+	}
+}
+
+func TestNorm360(t *testing.T) {
+	cases := map[float64]float64{-10: 350, 0: 0, 360: 0, 370: 10, 725: 5}
+	for in, want := range cases {
+		if got := norm360(in); math.Abs(got-want) > 1e-9 {
+			t.Errorf("norm360(%f) = %f, want %f", in, got, want)
+		}
+	}
+}
+
+func BenchmarkSuggest(b *testing.B) {
+	meet := geo.Point{Lat: 37.5, Lon: 24.5}
+	own := OwnShip{MMSI: 1, Pos: geo.DeadReckon(meet, 12, 270, 900), SOG: 12, COG: 90, At: t0}
+	tgt := lineForecast(2, geo.DeadReckon(meet, 12, 90, 900), 270, 12)
+	targets := []events.Forecast{tgt}
+	cfg := DefaultConfig()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Suggest(own, targets, cfg)
+	}
+}

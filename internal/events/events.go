@@ -1,0 +1,111 @@
+// Package events implements the maritime situational-awareness
+// functions of §5: real-time close-proximity detection, AIS switch-off
+// detection, and collision forecasting over S-VRF (or baseline)
+// trajectory forecasts — together with the evaluation harness that
+// reproduces Table 2.
+package events
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"seatwin/internal/ais"
+	"seatwin/internal/geo"
+)
+
+// Kind labels an event record.
+type Kind string
+
+// Event kinds.
+const (
+	KindProximity         Kind = "proximity"
+	KindSwitchOff         Kind = "ais-switch-off"
+	KindCollisionForecast Kind = "collision-forecast"
+)
+
+// Event is one detected or forecast maritime event.
+type Event struct {
+	Kind Kind
+	// A is always set; B is set for pairwise events.
+	A, B ais.MMSI
+	// At is when the event occurred or is forecast to occur.
+	At time.Time
+	// DetectedAt is when the system emitted the event.
+	DetectedAt time.Time
+	// Pos is the event location (midpoint for pairwise events).
+	Pos geo.Point
+	// Meters is the relevant distance (separation for proximity and
+	// collision events).
+	Meters float64
+}
+
+// PairKey returns an order-independent identifier for pairwise events.
+func (e Event) PairKey() string {
+	a, b := e.A, e.B
+	if a > b {
+		a, b = b, a
+	}
+	return fmt.Sprintf("%d/%d", a, b)
+}
+
+// Log is a bounded, concurrency-safe event log, the in-memory
+// counterpart of the event list the UI presents (Figure 4f).
+type Log struct {
+	mu     sync.Mutex
+	events []Event
+	max    int
+	total  int64
+}
+
+// NewLog creates a log retaining up to max events (older evicted).
+func NewLog(max int) *Log {
+	if max <= 0 {
+		max = 1 << 14
+	}
+	return &Log{max: max}
+}
+
+// Append adds an event.
+func (l *Log) Append(e Event) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.total++
+	l.events = append(l.events, e)
+	if len(l.events) > l.max {
+		drop := len(l.events) - l.max
+		l.events = append(l.events[:0:0], l.events[drop:]...)
+	}
+}
+
+// Total returns the count of events ever appended.
+func (l *Log) Total() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.total
+}
+
+// Recent returns up to n most recent events, newest last.
+func (l *Log) Recent(n int) []Event {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if n > len(l.events) {
+		n = len(l.events)
+	}
+	out := make([]Event, n)
+	copy(out, l.events[len(l.events)-n:])
+	return out
+}
+
+// ByKind returns the retained events of one kind, oldest first.
+func (l *Log) ByKind(k Kind) []Event {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	var out []Event
+	for _, e := range l.events {
+		if e.Kind == k {
+			out = append(out, e)
+		}
+	}
+	return out
+}

@@ -1,0 +1,187 @@
+package events
+
+import (
+	"time"
+
+	"seatwin/internal/ais"
+	"seatwin/internal/geo"
+)
+
+// ProximityConfig parameterises live close-proximity detection (§5,
+// Figure 4e): two vessels reporting within ThresholdMeters of each
+// other within TimeWindow of one another.
+type ProximityConfig struct {
+	ThresholdMeters float64
+	TimeWindow      time.Duration
+	// Cooldown suppresses duplicate events for the same pair.
+	Cooldown time.Duration
+}
+
+// DefaultProximityConfig uses a 500 m radius and 1-minute coincidence
+// window.
+func DefaultProximityConfig() ProximityConfig {
+	return ProximityConfig{
+		ThresholdMeters: 500,
+		TimeWindow:      time.Minute,
+		Cooldown:        5 * time.Minute,
+	}
+}
+
+// ProximityDetector is the per-cell state of the cell actors: last
+// positions of the vessels currently reporting in the cell's
+// neighbourhood.
+type ProximityDetector struct {
+	cfg      ProximityConfig
+	last     map[ais.MMSI]ForecastPoint
+	cooldown map[string]time.Time // pair key -> last emission
+}
+
+// NewProximityDetector creates an empty detector.
+func NewProximityDetector(cfg ProximityConfig) *ProximityDetector {
+	if cfg.ThresholdMeters <= 0 {
+		cfg = DefaultProximityConfig()
+	}
+	return &ProximityDetector{
+		cfg:      cfg,
+		last:     make(map[ais.MMSI]ForecastPoint),
+		cooldown: make(map[string]time.Time),
+	}
+}
+
+// Update feeds one position report and returns any proximity events it
+// completes.
+func (p *ProximityDetector) Update(mmsi ais.MMSI, pos geo.Point, at time.Time) []Event {
+	var out []Event
+	for id, fp := range p.last {
+		if id == mmsi {
+			continue
+		}
+		dt := at.Sub(fp.At)
+		if dt < 0 {
+			dt = -dt
+		}
+		if dt > p.cfg.TimeWindow {
+			// Stale entry: drop it opportunistically when far in the past.
+			if at.Sub(fp.At) > 2*p.cfg.TimeWindow {
+				delete(p.last, id)
+			}
+			continue
+		}
+		d := geo.FastDistance(pos, fp.Pos)
+		if d > p.cfg.ThresholdMeters {
+			continue
+		}
+		e := Event{
+			Kind:       KindProximity,
+			A:          mmsi,
+			B:          id,
+			At:         at,
+			DetectedAt: at,
+			Pos:        geo.Midpoint(pos, fp.Pos),
+			Meters:     d,
+		}
+		if until, ok := p.cooldown[e.PairKey()]; ok && at.Before(until) {
+			continue
+		}
+		p.cooldown[e.PairKey()] = at.Add(p.cfg.Cooldown)
+		out = append(out, e)
+	}
+	p.last[mmsi] = ForecastPoint{Pos: pos, At: at}
+	return out
+}
+
+// Size returns the number of vessels tracked in this detector.
+func (p *ProximityDetector) Size() int { return len(p.last) }
+
+// SwitchOffConfig parameterises AIS switch-off detection [9]: a silence
+// far exceeding the expected reporting cadence while the vessel was
+// under way is flagged as an intentional (or faulty) transponder
+// switch-off.
+type SwitchOffConfig struct {
+	// MinSilence is the absolute minimum gap before flagging.
+	MinSilence time.Duration
+	// CadenceFactor flags when the gap exceeds the expected interval by
+	// this factor.
+	CadenceFactor float64
+}
+
+// DefaultSwitchOffConfig flags silences over 30 minutes that are at
+// least 20x the vessel's recent reporting cadence.
+func DefaultSwitchOffConfig() SwitchOffConfig {
+	return SwitchOffConfig{MinSilence: 30 * time.Minute, CadenceFactor: 20}
+}
+
+// SwitchOffDetector tracks one vessel's reporting cadence. The vessel
+// actor owns one instance.
+type SwitchOffDetector struct {
+	cfg      SwitchOffConfig
+	lastSeen time.Time
+	lastPos  geo.Point
+	// ewma of the inter-report interval, seconds.
+	cadence float64
+	reports int
+	flagged bool
+}
+
+// NewSwitchOffDetector creates a detector for one vessel.
+func NewSwitchOffDetector(cfg SwitchOffConfig) *SwitchOffDetector {
+	if cfg.MinSilence <= 0 {
+		cfg = DefaultSwitchOffConfig()
+	}
+	return &SwitchOffDetector{cfg: cfg}
+}
+
+// Update feeds a report. If the preceding silence qualifies as a
+// switch-off, the returned event describes it (stamped at the start of
+// the silence).
+func (s *SwitchOffDetector) Update(mmsi ais.MMSI, pos geo.Point, at time.Time) (Event, bool) {
+	defer func() {
+		s.lastSeen = at
+		s.lastPos = pos
+		s.flagged = false
+	}()
+	if s.reports == 0 {
+		s.reports++
+		return Event{}, false
+	}
+	gap := at.Sub(s.lastSeen).Seconds()
+	if gap <= 0 {
+		return Event{}, false
+	}
+	var fired Event
+	ok := false
+	if s.reports >= 3 && !s.flagged {
+		expected := s.cadence * s.cfg.CadenceFactor
+		if gap > s.cfg.MinSilence.Seconds() && gap > expected {
+			fired = Event{
+				Kind:       KindSwitchOff,
+				A:          mmsi,
+				At:         s.lastSeen,
+				DetectedAt: at,
+				Pos:        s.lastPos,
+			}
+			ok = true
+		}
+	}
+	// Update cadence, but do not let the anomaly gap poison the
+	// baseline estimate.
+	if !ok {
+		if s.cadence == 0 {
+			s.cadence = gap
+		} else {
+			s.cadence = 0.85*s.cadence + 0.15*gap
+		}
+	}
+	s.reports++
+	return fired, ok
+}
+
+// Silent reports whether the vessel has been quiet long enough to flag
+// right now (for polling-style checks without a new report).
+func (s *SwitchOffDetector) Silent(now time.Time) bool {
+	if s.reports < 3 || s.cadence == 0 {
+		return false
+	}
+	gap := now.Sub(s.lastSeen).Seconds()
+	return gap > s.cfg.MinSilence.Seconds() && gap > s.cadence*s.cfg.CadenceFactor
+}

@@ -1,0 +1,80 @@
+package events
+
+import (
+	"testing"
+	"time"
+
+	"seatwin/internal/fleetsim"
+	"seatwin/internal/geo"
+	"seatwin/internal/svrf"
+	"seatwin/internal/traj"
+)
+
+// TestTable2Shape reproduces the paper's Table 2 at reduced training
+// scale: both forecasters must reach high precision and recall on the
+// proximity scenario, the sub-datasets must be near-perfect, and the
+// S-VRF/kinematic error trade (S-VRF at least as many FPs) must hold.
+func TestTable2Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training test, skipped in short mode")
+	}
+	ds := fleetsim.Record(geo.AegeanSea, 100, 6*time.Hour, 42)
+	var windows []traj.Window
+	for _, tr := range ds.Tracks {
+		windows = append(windows, traj.BuildWindows(tr.Reports, traj.DefaultConfig())...)
+	}
+	train, _, _ := traj.Split(windows, 0.7, 0.0, 7)
+	model, err := svrf.New(svrf.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := svrf.DefaultTrainOptions()
+	opt.Epochs = 14
+	model.Train(train, opt)
+
+	prox := fleetsim.GenerateProximity(fleetsim.DefaultProximityConfig())
+	if len(prox.Truth) < 180 {
+		t.Fatalf("scenario too small: %d events", len(prox.Truth))
+	}
+	kin := NewKinematicForecaster()
+	mfc := SVRFForecaster{Model: model}
+
+	evalAll := func(fc TrackForecaster, thr time.Duration) CollisionEvaluation {
+		return EvaluateCollision(prox, fc, prox.Truth, false, thr, "all")
+	}
+
+	kin2 := evalAll(kin, 2*time.Minute)
+	svrf2 := evalAll(mfc, 2*time.Minute)
+	for _, ev := range []CollisionEvaluation{kin2, svrf2} {
+		if ev.Recall() < 0.75 {
+			t.Errorf("%s recall %.2f below the paper's regime", ev.Forecaster, ev.Recall())
+		}
+		if ev.Precision() < 0.85 {
+			t.Errorf("%s precision %.2f below the paper's regime", ev.Forecaster, ev.Precision())
+		}
+	}
+
+	// Sub datasets: near-perfect detection, as in Table 2.
+	subA := prox.EventsWithin(2 * time.Minute)
+	subB := prox.EventsWithin(5 * time.Minute)
+	for _, fc := range []TrackForecaster{kin, mfc} {
+		a := EvaluateCollision(prox, fc, subA, true, 2*time.Minute, "subA")
+		b := EvaluateCollision(prox, fc, subB, true, 5*time.Minute, "subB")
+		if a.Recall() < 0.9 {
+			t.Errorf("%s sub A recall %.2f", fc.Name(), a.Recall())
+		}
+		if b.Recall() < 0.85 {
+			t.Errorf("%s sub B recall %.2f", fc.Name(), b.Recall())
+		}
+	}
+
+	// The detected events carry usable metadata for the UI event list.
+	for _, e := range svrf2.Detected {
+		if e.Kind != KindCollisionForecast {
+			t.Fatalf("wrong kind %v", e.Kind)
+		}
+		if e.A == 0 || e.B == 0 || e.At.IsZero() {
+			t.Fatalf("incomplete event %+v", e)
+		}
+	}
+}

@@ -1,0 +1,249 @@
+// Package experiments implements the paper's evaluation section (§6)
+// end to end: every table and figure has a Run function returning a
+// structured result plus a formatter that prints the same rows the
+// paper reports. The eval CLI and the repository's benchmark harness
+// share this code, so numbers printed by either come from the same
+// path.
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"time"
+
+	"seatwin/internal/events"
+	"seatwin/internal/fleetsim"
+	"seatwin/internal/geo"
+	"seatwin/internal/svrf"
+	"seatwin/internal/traj"
+)
+
+// Scale selects the experiment size: Small keeps CI fast, Full matches
+// the defaults the EXPERIMENTS.md numbers were produced with.
+type Scale int
+
+// Scales.
+const (
+	Small Scale = iota
+	Full
+)
+
+// TrainedModel holds a model and the held-out windows it was not
+// trained on, for reuse across experiments.
+type TrainedModel struct {
+	Model *svrf.Model
+	Test  []traj.Window
+	// TrainWindows and Messages describe the dataset (§6.1 reporting).
+	TrainWindows int
+	Messages     int
+	Vessels      int
+	// IntervalMean and IntervalStd are the post-downsampling sampling
+	// statistics of the training stream.
+	IntervalMean float64
+	IntervalStd  float64
+}
+
+// TrainSVRF records a regional dataset, preprocesses it with the
+// paper's tensor geometry and trains the S-VRF model.
+func TrainSVRF(scale Scale, seed int64) TrainedModel {
+	vessels, hours, epochs := 120, 8*time.Hour, 14
+	if scale == Full {
+		vessels, hours, epochs = 250, 10*time.Hour, 20
+	}
+	ds := fleetsim.Record(geo.AegeanSea, vessels, hours, seed)
+	cfg := traj.DefaultConfig()
+	var windows []traj.Window
+	for _, tr := range ds.Tracks {
+		windows = append(windows, traj.BuildWindows(tr.Reports, cfg)...)
+	}
+	train, _, test := traj.Split(windows, 0.5, 0.25, 7)
+
+	m, err := svrf.New(svrf.DefaultConfig())
+	if err != nil {
+		panic(err) // static config, cannot fail
+	}
+	opt := svrf.DefaultTrainOptions()
+	opt.Epochs = epochs
+	m.Train(train, opt)
+	if scale == Full {
+		opt.Epochs = 10
+		opt.LR = 4e-4
+		m.Train(train, opt)
+	}
+
+	// Interval statistics after the 30-second downsampling (§6.1).
+	var sum, sumSq float64
+	n := 0
+	for _, tr := range ds.Tracks {
+		d := traj.Downsample(tr.Reports, cfg.Downsample)
+		for i := 1; i < len(d); i++ {
+			dt := d[i].Timestamp.Sub(d[i-1].Timestamp).Seconds()
+			sum += dt
+			sumSq += dt * dt
+			n++
+		}
+	}
+	mean, std := 0.0, 0.0
+	if n > 0 {
+		mean = sum / float64(n)
+		if v := sumSq/float64(n) - mean*mean; v > 0 {
+			std = math.Sqrt(v)
+		}
+	}
+	return TrainedModel{
+		Model:        m,
+		Test:         test,
+		TrainWindows: len(train),
+		Messages:     ds.Messages(),
+		Vessels:      len(ds.Tracks),
+		IntervalMean: mean,
+		IntervalStd:  std,
+	}
+}
+
+// Table1Row is one horizon of Table 1.
+type Table1Row struct {
+	Horizon   time.Duration
+	Kinematic float64 // ADE meters
+	SVRF      float64
+	DiffPct   float64
+}
+
+// Table1Result reproduces Table 1.
+type Table1Result struct {
+	Rows     []Table1Row
+	MeanKin  float64
+	MeanSVRF float64
+	MeanDiff float64
+	TestSize int
+}
+
+// RunTable1 evaluates both predictors on the held-out windows.
+func RunTable1(tm TrainedModel) Table1Result {
+	kin := svrf.NewKinematic()
+	deK := svrf.EvaluateADE(kin, tm.Test)
+	deM := svrf.EvaluateADE(tm.Model, tm.Test)
+	res := Table1Result{TestSize: len(tm.Test)}
+	for h := 0; h < deK.Horizons(); h++ {
+		k, s := deK.ADE(h), deM.ADE(h)
+		diff := 0.0
+		if k > 0 {
+			diff = (s - k) / k * 100
+		}
+		res.Rows = append(res.Rows, Table1Row{
+			Horizon:   time.Duration(h+1) * 5 * time.Minute,
+			Kinematic: k,
+			SVRF:      s,
+			DiffPct:   diff,
+		})
+	}
+	res.MeanKin = deK.MeanADE()
+	res.MeanSVRF = deM.MeanADE()
+	if res.MeanKin > 0 {
+		res.MeanDiff = (res.MeanSVRF - res.MeanKin) / res.MeanKin * 100
+	}
+	return res
+}
+
+// Format renders the Table 1 layout.
+func (r Table1Result) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table 1: S-VRF vs Linear Kinematic, ADE (m) over %d test windows\n", r.TestSize)
+	fmt.Fprintf(&b, "%-12s %12s %10s %12s\n", "horizon", "Kinematic", "S-VRF", "Difference")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "t = %-8s %12.1f %10.1f %+11.1f%%\n",
+			row.Horizon, row.Kinematic, row.SVRF, row.DiffPct)
+	}
+	fmt.Fprintf(&b, "%-12s %12.1f %10.1f %+11.1f%%\n", "Mean ADE", r.MeanKin, r.MeanSVRF, r.MeanDiff)
+	return b.String()
+}
+
+// Table2Row is one experiment of Table 2.
+type Table2Row struct {
+	Dataset    string
+	Model      string
+	Threshold  time.Duration
+	Truth      int
+	TP, FP, FN int
+	Precision  float64
+	Recall     float64
+	F1         float64
+	Accuracy   float64
+}
+
+// Table2Result reproduces Table 2 (eight rows).
+type Table2Result struct {
+	Rows     []Table2Row
+	Vessels  int
+	Events   int
+	Messages int
+	SubA     int
+	SubB     int
+}
+
+// RunTable2 generates the proximity scenario and evaluates the
+// collision forecaster with both prediction models across the paper's
+// grid of datasets and temporal thresholds.
+func RunTable2(tm TrainedModel, seed int64) Table2Result {
+	cfg := fleetsim.DefaultProximityConfig()
+	cfg.Seed = seed
+	prox := fleetsim.GenerateProximity(cfg)
+
+	kin := events.NewKinematicForecaster()
+	mfc := events.SVRFForecaster{Model: tm.Model}
+	subA := prox.EventsWithin(2 * time.Minute)
+	subB := prox.EventsWithin(5 * time.Minute)
+
+	grid := []struct {
+		name     string
+		truth    []fleetsim.ProximityEvent
+		restrict bool
+		thr      time.Duration
+	}{
+		{"All Events", prox.Truth, false, 2 * time.Minute},
+		{"All Events", prox.Truth, false, 5 * time.Minute},
+		{"Sub dataset A", subA, true, 2 * time.Minute},
+		{"Sub dataset B", subB, true, 5 * time.Minute},
+	}
+	res := Table2Result{
+		Vessels:  len(prox.Vessels),
+		Events:   len(prox.Truth),
+		Messages: prox.Messages(),
+		SubA:     len(subA),
+		SubB:     len(subB),
+	}
+	for _, g := range grid {
+		for _, fc := range []events.TrackForecaster{kin, mfc} {
+			ev := events.EvaluateCollision(prox, fc, g.truth, g.restrict, g.thr, g.name)
+			res.Rows = append(res.Rows, Table2Row{
+				Dataset:   g.name,
+				Model:     fc.Name(),
+				Threshold: g.thr,
+				Truth:     ev.TruthEvents,
+				TP:        ev.TP, FP: ev.FP, FN: ev.FN,
+				Precision: ev.Precision(),
+				Recall:    ev.Recall(),
+				F1:        ev.F1(),
+				Accuracy:  ev.Accuracy(),
+			})
+		}
+	}
+	return res
+}
+
+// Format renders the Table 2 layout.
+func (r Table2Result) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table 2: collision forecasting on the synthetic proximity dataset\n")
+	fmt.Fprintf(&b, "(%d vessels, %d ground-truth events, %d AIS messages; sub A: %d, sub B: %d)\n",
+		r.Vessels, r.Events, r.Messages, r.SubA, r.SubB)
+	fmt.Fprintf(&b, "%-14s %-18s %5s %6s %4s %4s %4s %10s %7s %9s %9s\n",
+		"Dataset", "Model", "Thr", "Events", "TP", "FP", "FN", "Precision", "Recall", "F1-Score", "Accuracy")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "%-14s %-18s %5s %6d %4d %4d %4d %10.2f %7.2f %9.2f %9.2f\n",
+			row.Dataset, row.Model, row.Threshold, row.Truth,
+			row.TP, row.FP, row.FN, row.Precision, row.Recall, row.F1, row.Accuracy)
+	}
+	return b.String()
+}

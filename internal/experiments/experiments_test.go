@@ -1,0 +1,69 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"seatwin/internal/events"
+)
+
+func TestTable1Format(t *testing.T) {
+	res := Table1Result{
+		Rows: []Table1Row{
+			{Horizon: 5 * time.Minute, Kinematic: 97.7, SVRF: 91.7, DiffPct: -6.1},
+			{Horizon: 30 * time.Minute, Kinematic: 1216.3, SVRF: 1060.2, DiffPct: -12.8},
+		},
+		MeanKin: 609.9, MeanSVRF: 538.5, MeanDiff: -11.7, TestSize: 100,
+	}
+	out := res.Format()
+	for _, want := range []string{"Table 1", "97.7", "1060.2", "-11.7%", "Mean ADE"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("format missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTable2Format(t *testing.T) {
+	res := Table2Result{
+		Vessels: 213, Events: 237, Messages: 4658, SubA: 61, SubB: 152,
+		Rows: []Table2Row{{
+			Dataset: "All Events", Model: "S-VRF", Threshold: 2 * time.Minute,
+			Truth: 237, TP: 214, FP: 11, FN: 23,
+			Precision: 0.95, Recall: 0.90, F1: 0.92, Accuracy: 0.90,
+		}},
+	}
+	out := res.Format()
+	for _, want := range []string{"Table 2", "213 vessels", "All Events", "S-VRF", "214"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("format missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestDatasetFormatIncludesPaperReference(t *testing.T) {
+	out := DatasetResult{Messages: 100, Vessels: 10, IntervalMean: 80, IntervalStd: 300}.Format()
+	if !strings.Contains(out, "78.6 s") || !strings.Contains(out, "418.3 s") {
+		t.Errorf("paper reference values missing:\n%s", out)
+	}
+}
+
+func TestRunFigure6Small(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration run, skipped in short mode")
+	}
+	res, err := RunFigure6(events.NewKinematicForecaster(), 500, 20000, 0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Series) == 0 {
+		t.Fatal("no series")
+	}
+	out := res.Format()
+	if !strings.Contains(out, "Figure 6") || !strings.Contains(out, "latency:") {
+		t.Errorf("format incomplete:\n%s", out)
+	}
+	if res.Stats.Messages != 20000 {
+		t.Fatalf("processed %d messages", res.Stats.Messages)
+	}
+}

@@ -1,0 +1,383 @@
+package fleetsim
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+
+	"seatwin/internal/ais"
+	"seatwin/internal/geo"
+)
+
+func TestPortCatalogSanity(t *testing.T) {
+	if len(Ports) < 60 {
+		t.Fatalf("catalog has %d ports", len(Ports))
+	}
+	seen := map[string]bool{}
+	for _, p := range Ports {
+		if !p.Pos.Valid() {
+			t.Errorf("port %s has invalid position %v", p.Name, p.Pos)
+		}
+		if seen[p.Name] {
+			t.Errorf("duplicate port %s", p.Name)
+		}
+		seen[p.Name] = true
+	}
+	if len(PortsWithin(geo.EuropeanCoverage)) < 30 {
+		t.Error("European coverage must contain most of the catalog")
+	}
+	if len(PortsWithin(geo.AegeanSea)) < 5 {
+		t.Error("Aegean must contain several ports")
+	}
+	if _, ok := FindPort("Piraeus"); !ok {
+		t.Error("Piraeus missing")
+	}
+	if _, ok := FindPort("Atlantis"); ok {
+		t.Error("found a port that should not exist")
+	}
+}
+
+func TestBuildRouteSharedLane(t *testing.T) {
+	origin, _ := FindPort("Piraeus")
+	dest, _ := FindPort("Limassol")
+	r1 := BuildRoute(origin, dest, 0, rand.New(rand.NewSource(1)))
+	r2 := BuildRoute(origin, dest, 0, rand.New(rand.NewSource(99)))
+	if len(r1.Waypoints) != len(r2.Waypoints) {
+		t.Fatalf("lane waypoint counts differ: %d vs %d", len(r1.Waypoints), len(r2.Waypoints))
+	}
+	// With zero per-vessel jitter the lane is identical for every vessel.
+	for i := range r1.Waypoints {
+		if d := geo.Haversine(r1.Waypoints[i], r2.Waypoints[i]); d > 1 {
+			t.Fatalf("lane not deterministic: waypoint %d differs by %.0f m", i, d)
+		}
+	}
+	// With jitter, individual routes spread around the lane.
+	r3 := BuildRoute(origin, dest, 1500, rand.New(rand.NewSource(7)))
+	different := false
+	for i := range r1.Waypoints {
+		if geo.Haversine(r1.Waypoints[i], r3.Waypoints[i]) > 100 {
+			different = true
+		}
+	}
+	if !different {
+		t.Fatal("per-vessel jitter had no effect")
+	}
+}
+
+func TestRouteLengthAtLeastGreatCircle(t *testing.T) {
+	origin, _ := FindPort("Rotterdam")
+	dest, _ := FindPort("Lisbon")
+	r := BuildRoute(origin, dest, 0, rand.New(rand.NewSource(2)))
+	gc := geo.Haversine(origin.Pos, dest.Pos)
+	if r.Length() < gc {
+		t.Fatalf("route length %.0f below great circle %.0f", r.Length(), gc)
+	}
+	if r.Length() > gc*1.3 {
+		t.Fatalf("route length %.0f unreasonably above great circle %.0f", r.Length(), gc)
+	}
+}
+
+func TestMotionFollowsRoute(t *testing.T) {
+	origin, _ := FindPort("Piraeus")
+	dest, _ := FindPort("Heraklion")
+	rng := rand.New(rand.NewSource(3))
+	route := BuildRoute(origin, dest, 0, rng)
+	p := Profile{Type: ais.TypeCargo, CruiseKn: 14, MaxTurnRate: 30}
+	m := newMotionState(route, 0)
+	m.sog = 14
+
+	// Integrate until arrival; the vessel must reach the destination.
+	arrived := false
+	for i := 0; i < 100000; i++ {
+		if !m.advance(30, p) {
+			arrived = true
+			break
+		}
+	}
+	if !arrived {
+		t.Fatal("vessel never arrived")
+	}
+	if d := geo.Haversine(m.pos, dest.Pos); d > 2000 {
+		t.Fatalf("arrived %.0f m from destination", d)
+	}
+	if !m.moored || m.sog != 0 {
+		t.Fatal("vessel must be moored with zero speed at arrival")
+	}
+}
+
+func TestMotionTurnRateBounded(t *testing.T) {
+	origin, _ := FindPort("Piraeus")
+	dest, _ := FindPort("Istanbul")
+	route := BuildRoute(origin, dest, 0, rand.New(rand.NewSource(4)))
+	p := Profile{Type: ais.TypeTanker, CruiseKn: 12, MaxTurnRate: 12}
+	m := newMotionState(route, 0)
+	m.sog = 12
+	prevCOG := m.cog
+	for i := 0; i < 2000; i++ {
+		if !m.advance(10, p) {
+			break
+		}
+		diff := math.Abs(math.Mod(m.cog-prevCOG+540, 360) - 180)
+		// 12 deg/min over 10 s = 2 degrees max.
+		if diff > 2.01 {
+			t.Fatalf("turned %.2f degrees in 10 s with 12 deg/min limit", diff)
+		}
+		prevCOG = m.cog
+	}
+}
+
+func TestMidVoyageStart(t *testing.T) {
+	origin, _ := FindPort("Rotterdam")
+	dest, _ := FindPort("New York")
+	route := BuildRoute(origin, dest, 0, rand.New(rand.NewSource(5)))
+	m := newMotionState(route, 0.5)
+	dOrigin := geo.Haversine(m.pos, origin.Pos)
+	dDest := geo.Haversine(m.pos, dest.Pos)
+	total := geo.Haversine(origin.Pos, dest.Pos)
+	if dOrigin < total*0.2 || dDest < total*0.2 {
+		t.Fatalf("mid-voyage start not in the middle: %.0f from origin, %.0f from dest", dOrigin, dDest)
+	}
+}
+
+func TestReportingIntervalITUCadence(t *testing.T) {
+	cases := []struct {
+		class  ais.Class
+		sog    float64
+		turn   float64
+		moored bool
+		want   time.Duration
+	}{
+		{ais.ClassA, 0, 0, true, 3 * time.Minute},
+		{ais.ClassA, 10, 0, false, 10 * time.Second},
+		{ais.ClassA, 10, 10, false, 3300 * time.Millisecond},
+		{ais.ClassA, 18, 0, false, 6 * time.Second},
+		{ais.ClassA, 18, 10, false, 2 * time.Second},
+		{ais.ClassA, 25, 0, false, 2 * time.Second},
+		{ais.ClassB, 1, 0, false, 3 * time.Minute},
+		{ais.ClassB, 8, 0, false, 30 * time.Second},
+	}
+	for _, c := range cases {
+		got := reportingInterval(c.class, c.sog, c.turn, c.moored)
+		if got != c.want {
+			t.Errorf("interval(class=%v sog=%.0f turn=%.0f moored=%v) = %v, want %v",
+				c.class, c.sog, c.turn, c.moored, got, c.want)
+		}
+	}
+}
+
+func TestWorldProducesOrderedReports(t *testing.T) {
+	w := NewWorld(Config{Vessels: 50, Seed: 6, Region: geo.AegeanSea, KeepSailing: true})
+	var prev time.Time
+	count := 0
+	seen := map[ais.MMSI]bool{}
+	for count < 2000 {
+		r, ok := w.Next()
+		if !ok {
+			t.Fatal("world ran dry with KeepSailing")
+		}
+		if r.At.Before(prev) {
+			t.Fatalf("reports out of order: %v after %v", r.At, prev)
+		}
+		prev = r.At
+		if !geo.AegeanSea.Expand(2).Contains(geo.Point{Lat: r.Pos.Lat, Lon: r.Pos.Lon}) {
+			t.Fatalf("regional vessel escaped: %v", r.Pos)
+		}
+		if !r.Pos.MMSI.Valid() {
+			t.Fatalf("invalid MMSI %d", r.Pos.MMSI)
+		}
+		seen[r.Pos.MMSI] = true
+		count++
+	}
+	if len(seen) < 40 {
+		t.Fatalf("only %d/50 vessels reported", len(seen))
+	}
+}
+
+func TestWorldDeterministic(t *testing.T) {
+	collect := func() []Report {
+		w := NewWorld(Config{Vessels: 10, Seed: 42, Region: geo.AegeanSea, KeepSailing: true})
+		var out []Report
+		for i := 0; i < 200; i++ {
+			r, ok := w.Next()
+			if !ok {
+				break
+			}
+			out = append(out, r)
+		}
+		return out
+	}
+	a, b := collect(), collect()
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].Pos.MMSI != b[i].Pos.MMSI || !a[i].At.Equal(b[i].At) ||
+			a[i].Pos.Lat != b[i].Pos.Lat || a[i].Pos.Lon != b[i].Pos.Lon {
+			t.Fatalf("report %d differs between identical seeds", i)
+		}
+	}
+}
+
+func TestRecordIntervalStatsIrregular(t *testing.T) {
+	ds := Record(geo.AegeanSea, 60, 2*time.Hour, 7)
+	if len(ds.Tracks) < 40 {
+		t.Fatalf("recorded %d tracks", len(ds.Tracks))
+	}
+	mean, std := ds.IntervalStats()
+	// Raw stream: dense class A cadence plus heavy-tailed outages. The
+	// paper's 78.6 s mean applies after 30 s downsampling (tested in the
+	// traj package); here the raw stream must simply be irregular.
+	if mean <= 0 {
+		t.Fatalf("mean interval %.1f", mean)
+	}
+	if std < mean*0.5 {
+		t.Fatalf("interval spread too regular: mean %.1f s std %.1f s", mean, std)
+	}
+	if ds.Messages() < 1000 {
+		t.Fatalf("only %d messages in 2 h from 60 vessels", ds.Messages())
+	}
+}
+
+func TestVesselStaticMessage(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	v := NewVessel(3, rng)
+	sv := v.Static("PIRAEUS")
+	if sv.MMSI != v.MMSI {
+		t.Fatal("MMSI mismatch")
+	}
+	if sv.Length() != v.Profile.Length || sv.Beam() != v.Profile.Beam {
+		t.Fatalf("dims: %d x %d, want %d x %d", sv.Length(), sv.Beam(), v.Profile.Length, v.Profile.Beam)
+	}
+	if sv.Destination != "PIRAEUS" {
+		t.Fatalf("destination %q", sv.Destination)
+	}
+	// The static message must survive the AIS codec.
+	lines, err := ais.Marshal(sv, "A", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(lines) < 2 {
+		t.Fatal("type 5 must fragment")
+	}
+}
+
+func TestFleetMixHasClassAB(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	classA, classB := 0, 0
+	for i := 0; i < 500; i++ {
+		v := NewVessel(i, rng)
+		if v.Profile.Class == ais.ClassA {
+			classA++
+		} else {
+			classB++
+		}
+		if v.Profile.CruiseKn < 3 {
+			t.Fatalf("cruise speed %f too low", v.Profile.CruiseKn)
+		}
+	}
+	if classA == 0 || classB == 0 {
+		t.Fatalf("fleet mix lacks a class: A=%d B=%d", classA, classB)
+	}
+	if classB > classA {
+		t.Fatalf("class B (%d) should be the minority vs class A (%d)", classB, classA)
+	}
+}
+
+func TestProximityScenarioShape(t *testing.T) {
+	d := GenerateProximity(DefaultProximityConfig())
+
+	wantVessels := 25*4 + 29*3 + 13*2
+	if len(d.Vessels) != wantVessels {
+		t.Fatalf("vessels = %d, want %d", len(d.Vessels), wantVessels)
+	}
+	// Every grouped vessel pair must actually close below the threshold:
+	// 25 groups of 4 (6 pairs each) + 29 groups of 3 (3 pairs) = 237.
+	if len(d.Truth) < 200 || len(d.Truth) > 280 {
+		t.Fatalf("ground-truth events = %d, want ~237", len(d.Truth))
+	}
+	subA := d.EventsWithin(2 * time.Minute)
+	subB := d.EventsWithin(5 * time.Minute)
+	if len(subA) == 0 || len(subB) <= len(subA) || len(subB) >= len(d.Truth) {
+		t.Fatalf("subset sizes inconsistent: A=%d B=%d all=%d", len(subA), len(subB), len(d.Truth))
+	}
+	// Roughly the paper's proportions: A ~26%, B ~64%.
+	fa := float64(len(subA)) / float64(len(d.Truth))
+	fb := float64(len(subB)) / float64(len(d.Truth))
+	if fa < 0.1 || fa > 0.45 {
+		t.Errorf("sub A fraction %.2f far from 0.26", fa)
+	}
+	if fb < 0.45 || fb > 0.85 {
+		t.Errorf("sub B fraction %.2f far from 0.64", fb)
+	}
+	// History message volume in the neighbourhood of the paper's 4658.
+	if m := d.Messages(); m < 2000 || m > 9000 {
+		t.Errorf("history messages = %d", m)
+	}
+	// All events happen after the evaluation time.
+	for _, e := range d.Truth {
+		if e.TimeToCPA < 0 {
+			t.Fatalf("event before eval time: %+v", e)
+		}
+		if e.CPAMeters >= 1852 {
+			t.Fatalf("event with CPA %.0f m", e.CPAMeters)
+		}
+	}
+}
+
+func TestProximityHistoriesUsable(t *testing.T) {
+	d := GenerateProximity(DefaultProximityConfig())
+	short := 0
+	for id, h := range d.History {
+		for i := 1; i < len(h); i++ {
+			if !h[i].Timestamp.After(h[i-1].Timestamp) {
+				t.Fatalf("history for %v not strictly ordered", id)
+			}
+			if h[i].Timestamp.After(d.EvalTime) {
+				t.Fatalf("history for %v leaks past eval time", id)
+			}
+		}
+		if len(h) < 15 {
+			short++
+		}
+	}
+	if short > len(d.History)/10 {
+		t.Fatalf("%d/%d vessels have short histories", short, len(d.History))
+	}
+}
+
+func TestProximityDeterministic(t *testing.T) {
+	a := GenerateProximity(DefaultProximityConfig())
+	b := GenerateProximity(DefaultProximityConfig())
+	if len(a.Truth) != len(b.Truth) || a.Messages() != b.Messages() {
+		t.Fatal("same seed produced different scenarios")
+	}
+}
+
+func TestCrossingPairsAreNotEvents(t *testing.T) {
+	// A scenario of only crossing pairs (minutes apart in time) must
+	// produce almost no ground-truth events.
+	cfg := ProximityConfig{Seed: 11, CrossingPairs: 30, HistoryDuration: 10 * time.Minute, ProximityMeters: 500}
+	d := GenerateProximity(cfg)
+	if len(d.Truth) > 3 {
+		t.Fatalf("crossing pairs produced %d proximity events", len(d.Truth))
+	}
+}
+
+func BenchmarkWorldNext(b *testing.B) {
+	w := NewWorld(Config{Vessels: 1000, Seed: 1, KeepSailing: true})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := w.Next(); !ok {
+			b.Fatal("world dried up")
+		}
+	}
+}
+
+func BenchmarkGenerateProximity(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cfg := DefaultProximityConfig()
+		cfg.Seed = int64(i)
+		GenerateProximity(cfg)
+	}
+}

@@ -1,0 +1,221 @@
+package fleetsim
+
+import (
+	"hash/fnv"
+	"math"
+	"math/rand"
+
+	"seatwin/internal/geo"
+)
+
+// Route is the waypoint plan a simulated vessel follows from an origin
+// port to a destination port.
+type Route struct {
+	Origin, Destination Port
+	Waypoints           []geo.Point // includes neither origin nor destination
+}
+
+// laneSeed derives a deterministic seed for an origin/destination pair,
+// so every vessel on the same OD pair shares the same lane geometry —
+// the "common pathways" structure EnvClus* extracts.
+func laneSeed(origin, dest string) int64 {
+	h := fnv.New64a()
+	h.Write([]byte(origin))
+	h.Write([]byte{0})
+	h.Write([]byte(dest))
+	return int64(h.Sum64())
+}
+
+// BuildRoute constructs the lane between two ports: a great-circle
+// baseline bent by deterministic cross-track offsets (the lane shape),
+// plus per-vessel lateral jitter drawn from rng.
+func BuildRoute(origin, dest Port, jitterMeters float64, rng *rand.Rand) Route {
+	laneRng := rand.New(rand.NewSource(laneSeed(origin.Name, dest.Name)))
+	dist := geo.Haversine(origin.Pos, dest.Pos)
+	// One waypoint per ~60 km so a 30-minute forecast window regularly
+	// spans course changes, between 3 and 24.
+	n := int(dist / 60000)
+	if n < 3 {
+		n = 3
+	}
+	if n > 24 {
+		n = 24
+	}
+	// Lane amplitude: up to 4% of leg length, capped at 60 km.
+	amp := math.Min(dist*0.04, 60000)
+	// Two superposed bends give routes an S shape often seen in sea
+	// lanes skirting coastlines.
+	phase := laneRng.Float64() * math.Pi
+	a1 := (laneRng.Float64()*2 - 1) * amp
+	a2 := (laneRng.Float64()*2 - 1) * amp / 2
+
+	wps := make([]geo.Point, 0, n)
+	for i := 1; i <= n; i++ {
+		f := float64(i) / float64(n+1)
+		base := geo.Interpolate(origin.Pos, dest.Pos, f)
+		bearing := geo.InitialBearing(origin.Pos, dest.Pos)
+		offset := a1*math.Sin(math.Pi*f+phase) + a2*math.Sin(2*math.Pi*f)
+		offset += (rng.NormFloat64()) * jitterMeters
+		wp := geo.Destination(base, bearing+90, offset)
+		wps = append(wps, wp)
+	}
+	return Route{Origin: origin, Destination: dest, Waypoints: wps}
+}
+
+// Points returns the full polyline including the endpoints.
+func (r Route) Points() []geo.Point {
+	pts := make([]geo.Point, 0, len(r.Waypoints)+2)
+	pts = append(pts, r.Origin.Pos)
+	pts = append(pts, r.Waypoints...)
+	pts = append(pts, r.Destination.Pos)
+	return pts
+}
+
+// Length returns the route length in meters along the polyline.
+func (r Route) Length() float64 {
+	pts := r.Points()
+	total := 0.0
+	for i := 1; i < len(pts); i++ {
+		total += geo.Haversine(pts[i-1], pts[i])
+	}
+	return total
+}
+
+// Course-meander parameters: real vessel tracks are not piecewise
+// straight — helm corrections, current and weather produce a slowly
+// varying course offset. The offset follows an Ornstein-Uhlenbeck
+// process with stationary standard deviation meanderStdDeg and
+// correlation time meanderTauSeconds, which yields sustained gentle
+// turn rates on the order of 1-2 degrees per minute — the curvature a
+// learned forecaster can extrapolate and dead reckoning cannot.
+const (
+	meanderStdDeg     = 10.0
+	meanderTauSeconds = 500.0
+)
+
+// motionState integrates a vessel along its route with bounded turn
+// rate, gentle speed dynamics and OU course meander.
+type motionState struct {
+	pos     geo.Point
+	sog     float64 // knots
+	cog     float64 // degrees
+	bias    float64 // meander course offset, degrees
+	targets []geo.Point
+	nextWP  int
+	moored  bool
+	rng     *rand.Rand // nil disables meander (deterministic tests)
+}
+
+func newMotionState(route Route, startFraction float64) motionState {
+	pts := route.Points()
+	// Start partway along the route so fleets do not all depart ports
+	// simultaneously.
+	idx := 1
+	pos := pts[0]
+	if startFraction > 0 {
+		total := route.Length() * startFraction
+		for idx < len(pts) {
+			leg := geo.Haversine(pos, pts[idx])
+			if total <= leg {
+				pos = geo.Interpolate(pos, pts[idx], total/math.Max(leg, 1))
+				break
+			}
+			total -= leg
+			pos = pts[idx]
+			idx++
+		}
+		if idx >= len(pts) {
+			idx = len(pts) - 1
+			pos = pts[idx]
+		}
+	}
+	cog := 0.0
+	if idx < len(pts) {
+		cog = geo.InitialBearing(pos, pts[idx])
+	}
+	return motionState{pos: pos, cog: cog, targets: pts, nextWP: idx}
+}
+
+// arrivalThresholdMeters is how close a vessel must get to a waypoint
+// before steering for the next one.
+const arrivalThresholdMeters = 400
+
+// advance integrates the state forward dt seconds toward the vessel's
+// waypoints. It returns false once the final waypoint is reached.
+func (m *motionState) advance(dtSeconds float64, p Profile) bool {
+	if m.nextWP >= len(m.targets) {
+		m.moored = true
+		m.sog = 0
+		return false
+	}
+	// Sub-step so long gaps between AIS transmissions still follow the
+	// curved path instead of cutting corners.
+	remaining := dtSeconds
+	for remaining > 0 {
+		step := math.Min(remaining, 10)
+		remaining -= step
+		if !m.step(step, p) {
+			return false
+		}
+	}
+	return true
+}
+
+func (m *motionState) step(dt float64, p Profile) bool {
+	target := m.targets[m.nextWP]
+	distToWP := geo.Haversine(m.pos, target)
+	if distToWP < arrivalThresholdMeters {
+		m.nextWP++
+		if m.nextWP >= len(m.targets) {
+			m.moored = true
+			m.sog = 0
+			return false
+		}
+		target = m.targets[m.nextWP]
+	}
+
+	// Evolve the meander offset (exact OU discretisation).
+	if m.rng != nil {
+		decay := math.Exp(-dt / meanderTauSeconds)
+		diffusion := meanderStdDeg * math.Sqrt(1-decay*decay)
+		m.bias = m.bias*decay + diffusion*m.rng.NormFloat64()
+	}
+
+	// Steer toward the waypoint, bounded by the profile turn rate.
+	desired := geo.InitialBearing(m.pos, target) + m.bias
+	diff := math.Mod(desired-m.cog+540, 360) - 180
+	maxTurn := p.MaxTurnRate / 60 * dt
+	if math.Abs(diff) > maxTurn {
+		if diff > 0 {
+			diff = maxTurn
+		} else {
+			diff = -maxTurn
+		}
+	}
+	m.cog = math.Mod(m.cog+diff+360, 360)
+
+	// Speed: relax toward cruise, slow down on the final approach.
+	targetSpeed := p.CruiseKn
+	if m.nextWP == len(m.targets)-1 && distToWP < 8000 {
+		targetSpeed = math.Max(4, p.CruiseKn*distToWP/8000)
+	}
+	m.sog += (targetSpeed - m.sog) * math.Min(1, dt/120)
+
+	dist := m.sog * geo.KnotsToMetersPerSecond * dt
+	m.pos = geo.Destination(m.pos, m.cog, dist)
+	return true
+}
+
+// turnRate estimates the instantaneous turn demand in degrees/minute,
+// which drives the ITU reporting cadence.
+func (m *motionState) turnRate(p Profile) float64 {
+	if m.nextWP >= len(m.targets) {
+		return 0
+	}
+	desired := geo.InitialBearing(m.pos, m.targets[m.nextWP])
+	diff := math.Abs(math.Mod(desired-m.cog+540, 360) - 180)
+	if diff < 2 {
+		return 0
+	}
+	return math.Min(diff, p.MaxTurnRate)
+}

@@ -1,0 +1,136 @@
+package fleetsim
+
+import "seatwin/internal/geo"
+
+// Port is a named harbour location vessels sail between. Coordinates
+// are placed slightly offshore of the real harbour so simulated tracks
+// start and end in navigable water.
+type Port struct {
+	Name    string
+	Country string
+	Pos     geo.Point
+}
+
+// Ports is the world port catalog the simulator routes between. The
+// catalog concentrates on the paper's evaluation regions (Europe, the
+// Aegean, the North Atlantic, the Red Sea and the Persian Gulf) with
+// enough worldwide entries to exercise a global fleet.
+var Ports = []Port{
+	// Aegean and Eastern Mediterranean (collision-forecasting region).
+	{"Piraeus", "GR", geo.Point{Lat: 37.925, Lon: 23.600}},
+	{"Thessaloniki", "GR", geo.Point{Lat: 40.600, Lon: 22.920}},
+	{"Heraklion", "GR", geo.Point{Lat: 35.355, Lon: 25.145}},
+	{"Syros", "GR", geo.Point{Lat: 37.430, Lon: 24.930}},
+	{"Rhodes", "GR", geo.Point{Lat: 36.455, Lon: 28.220}},
+	{"Mytilene", "GR", geo.Point{Lat: 39.095, Lon: 26.560}},
+	{"Chios", "GR", geo.Point{Lat: 38.375, Lon: 26.145}},
+	{"Kavala", "GR", geo.Point{Lat: 40.920, Lon: 24.415}},
+	{"Izmir", "TR", geo.Point{Lat: 38.440, Lon: 26.750}},
+	{"Istanbul", "TR", geo.Point{Lat: 40.980, Lon: 28.920}},
+	{"Limassol", "CY", geo.Point{Lat: 34.650, Lon: 33.020}},
+	{"Alexandria", "EG", geo.Point{Lat: 31.240, Lon: 29.840}},
+	{"Port Said", "EG", geo.Point{Lat: 31.290, Lon: 32.330}},
+	// Western Mediterranean.
+	{"Valletta", "MT", geo.Point{Lat: 35.890, Lon: 14.530}},
+	{"Genoa", "IT", geo.Point{Lat: 44.390, Lon: 8.920}},
+	{"Naples", "IT", geo.Point{Lat: 40.825, Lon: 14.240}},
+	{"Gioia Tauro", "IT", geo.Point{Lat: 38.445, Lon: 15.895}},
+	{"Marseille", "FR", geo.Point{Lat: 43.280, Lon: 5.330}},
+	{"Barcelona", "ES", geo.Point{Lat: 41.330, Lon: 2.170}},
+	{"Valencia", "ES", geo.Point{Lat: 39.430, Lon: -0.300}},
+	{"Algeciras", "ES", geo.Point{Lat: 36.110, Lon: -5.430}},
+	{"Tangier", "MA", geo.Point{Lat: 35.870, Lon: -5.540}},
+	// Atlantic Europe.
+	{"Lisbon", "PT", geo.Point{Lat: 38.670, Lon: -9.230}},
+	{"Leixoes", "PT", geo.Point{Lat: 41.185, Lon: -8.710}},
+	{"Bilbao", "ES", geo.Point{Lat: 43.360, Lon: -3.050}},
+	{"Le Havre", "FR", geo.Point{Lat: 49.480, Lon: 0.100}},
+	{"Brest", "FR", geo.Point{Lat: 48.360, Lon: -4.510}},
+	{"Southampton", "GB", geo.Point{Lat: 50.870, Lon: -1.390}},
+	{"London Gateway", "GB", geo.Point{Lat: 51.500, Lon: 0.470}},
+	{"Liverpool", "GB", geo.Point{Lat: 53.430, Lon: -3.060}},
+	{"Dublin", "IE", geo.Point{Lat: 53.340, Lon: -6.180}},
+	// North Sea and Baltic.
+	{"Rotterdam", "NL", geo.Point{Lat: 51.960, Lon: 4.050}},
+	{"Antwerp", "BE", geo.Point{Lat: 51.330, Lon: 3.800}},
+	{"Hamburg", "DE", geo.Point{Lat: 53.880, Lon: 8.700}},
+	{"Bremerhaven", "DE", geo.Point{Lat: 53.590, Lon: 8.530}},
+	{"Gothenburg", "SE", geo.Point{Lat: 57.680, Lon: 11.800}},
+	{"Oslo", "NO", geo.Point{Lat: 59.700, Lon: 10.570}},
+	{"Copenhagen", "DK", geo.Point{Lat: 55.700, Lon: 12.640}},
+	{"Gdansk", "PL", geo.Point{Lat: 54.420, Lon: 18.700}},
+	{"Klaipeda", "LT", geo.Point{Lat: 55.720, Lon: 21.080}},
+	{"Riga", "LV", geo.Point{Lat: 57.060, Lon: 24.020}},
+	{"Tallinn", "EE", geo.Point{Lat: 59.510, Lon: 24.750}},
+	{"Helsinki", "FI", geo.Point{Lat: 60.120, Lon: 24.920}},
+	{"St Petersburg", "RU", geo.Point{Lat: 59.870, Lon: 29.700}},
+	// Norwegian and Barents seas.
+	{"Bergen", "NO", geo.Point{Lat: 60.390, Lon: 5.250}},
+	{"Trondheim", "NO", geo.Point{Lat: 63.440, Lon: 10.350}},
+	{"Tromso", "NO", geo.Point{Lat: 69.680, Lon: 18.990}},
+	{"Murmansk", "RU", geo.Point{Lat: 69.060, Lon: 33.420}},
+	// Black Sea.
+	{"Constanta", "RO", geo.Point{Lat: 44.150, Lon: 28.730}},
+	{"Odesa", "UA", geo.Point{Lat: 46.480, Lon: 30.800}},
+	{"Novorossiysk", "RU", geo.Point{Lat: 44.680, Lon: 37.830}},
+	// Red Sea and Persian Gulf (paper coverage).
+	{"Jeddah", "SA", geo.Point{Lat: 21.480, Lon: 39.130}},
+	{"Suez", "EG", geo.Point{Lat: 29.930, Lon: 32.570}},
+	{"Aqaba", "JO", geo.Point{Lat: 29.500, Lon: 34.990}},
+	{"Djibouti", "DJ", geo.Point{Lat: 11.620, Lon: 43.130}},
+	{"Jebel Ali", "AE", geo.Point{Lat: 24.980, Lon: 55.030}},
+	{"Dammam", "SA", geo.Point{Lat: 26.500, Lon: 50.210}},
+	{"Kuwait", "KW", geo.Point{Lat: 29.380, Lon: 47.930}},
+	{"Bandar Abbas", "IR", geo.Point{Lat: 27.140, Lon: 56.210}},
+	// Caspian.
+	{"Baku", "AZ", geo.Point{Lat: 40.350, Lon: 49.880}},
+	{"Aktau", "KZ", geo.Point{Lat: 43.610, Lon: 51.220}},
+	// North Atlantic and Americas.
+	{"New York", "US", geo.Point{Lat: 40.500, Lon: -73.900}},
+	{"Norfolk", "US", geo.Point{Lat: 36.930, Lon: -76.090}},
+	{"Savannah", "US", geo.Point{Lat: 31.990, Lon: -80.780}},
+	{"Houston", "US", geo.Point{Lat: 29.340, Lon: -94.720}},
+	{"Halifax", "CA", geo.Point{Lat: 44.600, Lon: -63.500}},
+	{"Santos", "BR", geo.Point{Lat: -24.030, Lon: -46.290}},
+	{"Buenos Aires", "AR", geo.Point{Lat: -34.560, Lon: -58.320}},
+	{"Colon", "PA", geo.Point{Lat: 9.390, Lon: -79.880}},
+	// Africa.
+	{"Casablanca", "MA", geo.Point{Lat: 33.630, Lon: -7.650}},
+	{"Dakar", "SN", geo.Point{Lat: 14.690, Lon: -17.480}},
+	{"Lagos", "NG", geo.Point{Lat: 6.380, Lon: 3.380}},
+	{"Cape Town", "ZA", geo.Point{Lat: -33.880, Lon: 18.400}},
+	{"Durban", "ZA", geo.Point{Lat: -29.900, Lon: 31.090}},
+	{"Mombasa", "KE", geo.Point{Lat: -4.080, Lon: 39.700}},
+	// Asia and Oceania.
+	{"Mumbai", "IN", geo.Point{Lat: 18.900, Lon: 72.750}},
+	{"Colombo", "LK", geo.Point{Lat: 6.940, Lon: 79.810}},
+	{"Singapore", "SG", geo.Point{Lat: 1.230, Lon: 103.800}},
+	{"Port Klang", "MY", geo.Point{Lat: 2.980, Lon: 101.300}},
+	{"Hong Kong", "HK", geo.Point{Lat: 22.280, Lon: 114.130}},
+	{"Shanghai", "CN", geo.Point{Lat: 31.000, Lon: 122.100}},
+	{"Busan", "KR", geo.Point{Lat: 35.050, Lon: 129.080}},
+	{"Tokyo", "JP", geo.Point{Lat: 35.550, Lon: 139.900}},
+	{"Sydney", "AU", geo.Point{Lat: -33.970, Lon: 151.230}},
+	{"Auckland", "NZ", geo.Point{Lat: -36.830, Lon: 174.800}},
+}
+
+// PortsWithin returns the ports located inside the bounding box.
+func PortsWithin(b geo.BBox) []Port {
+	var out []Port
+	for _, p := range Ports {
+		if b.Contains(p.Pos) {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// FindPort returns the catalog entry with the given name.
+func FindPort(name string) (Port, bool) {
+	for _, p := range Ports {
+		if p.Name == name {
+			return p, true
+		}
+	}
+	return Port{}, false
+}

@@ -1,0 +1,114 @@
+package fleetsim
+
+import (
+	"fmt"
+	"math/rand"
+
+	"seatwin/internal/ais"
+)
+
+// Profile bundles the physical and behavioural parameters of a ship
+// type used by the fleet builder.
+type Profile struct {
+	Type        ais.ShipType
+	Class       ais.Class
+	CruiseKn    float64 // typical service speed, knots
+	SpeedSpread float64 // +- uniform spread on the service speed
+	Length      int     // meters
+	Beam        int
+	Draught     float64
+	// MaxTurnRate is the sustained turn rate in degrees per minute; it
+	// bounds how quickly the simulated ship can change course, which is
+	// what makes dead reckoning fail on manoeuvres.
+	MaxTurnRate float64
+	// LaneJitterMeters is the lateral spread of individual vessels
+	// around their route's lane centerline.
+	LaneJitterMeters float64
+}
+
+// profiles roughly follow the world-fleet mix that AIS sees.
+var profiles = []struct {
+	p      Profile
+	weight float64
+}{
+	{Profile{Type: ais.TypeCargo, Class: ais.ClassA, CruiseKn: 13, SpeedSpread: 3, Length: 190, Beam: 28, Draught: 10.5, MaxTurnRate: 18, LaneJitterMeters: 1200}, 0.35},
+	{Profile{Type: ais.TypeTanker, Class: ais.ClassA, CruiseKn: 12, SpeedSpread: 2.5, Length: 240, Beam: 40, Draught: 13.5, MaxTurnRate: 12, LaneJitterMeters: 1500}, 0.20},
+	{Profile{Type: ais.TypePassenger, Class: ais.ClassA, CruiseKn: 19, SpeedSpread: 4, Length: 150, Beam: 24, Draught: 6.2, MaxTurnRate: 36, LaneJitterMeters: 700}, 0.12},
+	{Profile{Type: ais.TypeFishing, Class: ais.ClassA, CruiseKn: 8, SpeedSpread: 3, Length: 28, Beam: 8, Draught: 3.8, MaxTurnRate: 90, LaneJitterMeters: 3500}, 0.15},
+	{Profile{Type: ais.TypeTug, Class: ais.ClassA, CruiseKn: 9, SpeedSpread: 2, Length: 32, Beam: 10, Draught: 4.6, MaxTurnRate: 60, LaneJitterMeters: 900}, 0.05},
+	{Profile{Type: ais.TypePleasure, Class: ais.ClassB, CruiseKn: 7, SpeedSpread: 4, Length: 14, Beam: 4, Draught: 1.8, MaxTurnRate: 120, LaneJitterMeters: 2500}, 0.13},
+}
+
+// Vessel is one simulated ship: identity, static particulars and its
+// behavioural profile.
+type Vessel struct {
+	MMSI     ais.MMSI
+	Name     string
+	Callsign string
+	IMO      uint32
+	Profile  Profile
+}
+
+// Static renders the vessel's AIS type 5 static-and-voyage message.
+func (v Vessel) Static(destination string) ais.StaticVoyage {
+	bow := v.Profile.Length * 2 / 3
+	port := v.Profile.Beam / 2
+	return ais.StaticVoyage{
+		MMSI:        v.MMSI,
+		IMO:         v.IMO,
+		Callsign:    v.Callsign,
+		Name:        v.Name,
+		ShipType:    v.Profile.Type,
+		DimBow:      bow,
+		DimStern:    v.Profile.Length - bow,
+		DimPort:     port,
+		DimStarb:    v.Profile.Beam - port,
+		Draught:     v.Profile.Draught,
+		Destination: destination,
+	}
+}
+
+// nameParts builds plausible vessel names deterministically.
+var namePrefixes = []string{
+	"BLUE", "AEGEAN", "NORDIC", "ATLANTIC", "PACIFIC", "GOLDEN", "SILVER",
+	"OCEAN", "STAR", "SEA", "MEDITERRANEAN", "BALTIC", "IONIAN", "ARCTIC",
+}
+var nameSuffixes = []string{
+	"TRADER", "PIONEER", "EXPRESS", "SPIRIT", "HORIZON", "VOYAGER",
+	"CARRIER", "GLORY", "FORTUNE", "WAVE", "DAWN", "QUEEN", "LEADER",
+}
+
+// pickProfile samples a profile according to the fleet-mix weights.
+func pickProfile(rng *rand.Rand) Profile {
+	r := rng.Float64()
+	acc := 0.0
+	for _, e := range profiles {
+		acc += e.weight
+		if r <= acc {
+			return jitterProfile(e.p, rng)
+		}
+	}
+	return jitterProfile(profiles[0].p, rng)
+}
+
+func jitterProfile(p Profile, rng *rand.Rand) Profile {
+	p.CruiseKn += (rng.Float64()*2 - 1) * p.SpeedSpread
+	if p.CruiseKn < 3 {
+		p.CruiseKn = 3
+	}
+	return p
+}
+
+// NewVessel builds a deterministic vessel from an index and RNG.
+func NewVessel(idx int, rng *rand.Rand) Vessel {
+	// MID 237 is Greece; spread the rest over a few realistic MIDs.
+	mids := []uint32{237, 229, 241, 248, 255, 271, 311, 355, 477, 538}
+	mid := mids[rng.Intn(len(mids))]
+	return Vessel{
+		MMSI:     ais.MMSI(mid*1000000 + uint32(100000+idx)),
+		Name:     fmt.Sprintf("%s %s %d", namePrefixes[rng.Intn(len(namePrefixes))], nameSuffixes[rng.Intn(len(nameSuffixes))], idx%100),
+		Callsign: fmt.Sprintf("SV%c%c%d", 'A'+rng.Intn(26), 'A'+rng.Intn(26), idx%10),
+		IMO:      uint32(9000000 + idx),
+		Profile:  pickProfile(rng),
+	}
+}

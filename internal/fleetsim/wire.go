@@ -1,0 +1,74 @@
+package fleetsim
+
+import (
+	"time"
+
+	"seatwin/internal/ais"
+)
+
+// WireFeed wraps a World and emits NMEA 0183 AIVDM sentences instead of
+// decoded structs — the exact wire format an AIS receiver network
+// delivers. Class A vessels additionally transmit their type 5 static
+// and voyage message every six minutes (ITU-R M.1371 cadence), which
+// fragments into multiple sentences.
+type WireFeed struct {
+	world *World
+	// lastStatic tracks the last static transmission per vessel.
+	lastStatic map[ais.MMSI]time.Time
+	msgID      int
+	// queue holds sentences not yet drained (a static message yields
+	// several lines plus the position report's line).
+	queue []WireLine
+}
+
+// WireLine is one received NMEA sentence with its receive time.
+type WireLine struct {
+	Line string
+	At   time.Time
+}
+
+// staticInterval is the ITU cadence for type 5 transmissions.
+const staticInterval = 6 * time.Minute
+
+// NewWireFeed wraps a world.
+func NewWireFeed(world *World) *WireFeed {
+	return &WireFeed{world: world, lastStatic: make(map[ais.MMSI]time.Time)}
+}
+
+// Next returns the next received sentence in time order.
+func (w *WireFeed) Next() (WireLine, bool) {
+	for len(w.queue) == 0 {
+		r, ok := w.world.Next()
+		if !ok {
+			return WireLine{}, false
+		}
+		// Interleave the periodic static message ahead of the position:
+		// class A transmits a (fragmented) type 5, class B its two
+		// type 24 parts.
+		if last, seen := w.lastStatic[r.Pos.MMSI]; !seen || r.At.Sub(last) >= staticInterval {
+			w.lastStatic[r.Pos.MMSI] = r.At
+			static := r.Vessel.Static("")
+			var lines []string
+			var err error
+			if r.Vessel.Profile.Class == ais.ClassA {
+				w.msgID++
+				lines, err = ais.Marshal(static, "A", w.msgID)
+			} else {
+				lines, err = ais.MarshalClassBStatic(static, "B")
+			}
+			if err == nil {
+				for _, l := range lines {
+					w.queue = append(w.queue, WireLine{Line: l, At: r.At})
+				}
+			}
+		}
+		if lines, err := ais.Marshal(r.Pos, "A", 0); err == nil {
+			for _, l := range lines {
+				w.queue = append(w.queue, WireLine{Line: l, At: r.At})
+			}
+		}
+	}
+	out := w.queue[0]
+	w.queue = w.queue[1:]
+	return out, true
+}

@@ -1,0 +1,96 @@
+package fleetsim
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"seatwin/internal/ais"
+	"seatwin/internal/geo"
+)
+
+func TestWireFeedProducesValidSentences(t *testing.T) {
+	w := NewWorld(Config{Vessels: 30, Seed: 17, Region: geo.AegeanSea, KeepSailing: true})
+	feed := NewWireFeed(w)
+	asm := ais.NewAssembler()
+
+	positions, statics := 0, 0
+	var prev time.Time
+	for i := 0; i < 3000; i++ {
+		line, ok := feed.Next()
+		if !ok {
+			t.Fatal("feed dried up")
+		}
+		if !strings.HasPrefix(line.Line, "!AIVDM,") {
+			t.Fatalf("bad sentence %q", line.Line)
+		}
+		if len(line.Line) > 82 {
+			t.Fatalf("sentence exceeds NMEA length: %d", len(line.Line))
+		}
+		if line.At.Before(prev) {
+			t.Fatalf("wire feed out of order: %v < %v", line.At, prev)
+		}
+		prev = line.At
+		s, err := ais.ParseSentence(line.Line)
+		if err != nil {
+			t.Fatalf("parse: %v", err)
+		}
+		msg, err := asm.Push(s, line.At)
+		if err != nil {
+			t.Fatalf("decode: %v", err)
+		}
+		switch m := msg.(type) {
+		case ais.PositionReport:
+			positions++
+			if !m.MMSI.Valid() {
+				t.Fatalf("invalid MMSI in %+v", m)
+			}
+		case ais.StaticVoyage:
+			statics++
+			// Type 5 and type 24 part A carry the name; part B carries
+			// the callsign and dimensions instead.
+			if m.Name == "" && m.Callsign == "" && m.Length() == 0 {
+				t.Fatalf("static message carries nothing: %+v", m)
+			}
+		}
+	}
+	if positions == 0 {
+		t.Fatal("no position reports decoded")
+	}
+	if statics == 0 {
+		t.Fatal("no static messages decoded (class A must transmit type 5)")
+	}
+	// Static cadence: far fewer statics than positions.
+	if statics*3 > positions {
+		t.Fatalf("static messages too frequent: %d vs %d positions", statics, positions)
+	}
+}
+
+func TestWireFeedStaticCadence(t *testing.T) {
+	w := NewWorld(Config{Vessels: 5, Seed: 3, Region: geo.AegeanSea, KeepSailing: true})
+	feed := NewWireFeed(w)
+	asm := ais.NewAssembler()
+	lastStatic := map[ais.MMSI]time.Time{}
+	for i := 0; i < 5000; i++ {
+		line, ok := feed.Next()
+		if !ok {
+			break
+		}
+		s, err := ais.ParseSentence(line.Line)
+		if err != nil {
+			t.Fatal(err)
+		}
+		msg, _ := asm.Push(s, line.At)
+		if sv, ok := msg.(ais.StaticVoyage); ok {
+			if prev, seen := lastStatic[sv.MMSI]; seen {
+				if gap := line.At.Sub(prev); gap < staticInterval-time.Second {
+					t.Fatalf("static retransmitted after %v (< %v)", gap, staticInterval)
+				}
+			}
+			lastStatic[sv.MMSI] = line.At
+		}
+	}
+	if len(lastStatic) == 0 {
+		t.Fatal("no statics observed")
+	}
+}

@@ -1,0 +1,297 @@
+package fleetsim
+
+import (
+	"container/heap"
+	"math"
+	"math/rand"
+	"time"
+
+	"seatwin/internal/ais"
+	"seatwin/internal/geo"
+)
+
+// Report is one received AIS transmission: the decoded message plus the
+// simulated receive time.
+type Report struct {
+	Vessel *Vessel
+	Pos    ais.PositionReport
+	At     time.Time
+}
+
+// ChannelConfig models the AIS receive path: irregular effective
+// sampling comes from transponder cadence (ITU-R M.1371) multiplied by
+// coverage dropouts and timing jitter, the phenomena §4.2 of the paper
+// designs the 30-second downsampling around.
+type ChannelConfig struct {
+	// DropProbability is the chance a transmission is never received
+	// (out of terrestrial range, satellite latency, packet collisions).
+	DropProbability float64
+	// JitterFraction scales each reporting interval by
+	// U(1-j, 1+3j), skewing toward late arrivals like real feeds.
+	JitterFraction float64
+	// BurstOutageMean, when > 0, occasionally silences a vessel for an
+	// exponentially distributed outage (mean duration), producing the
+	// heavy tail of inter-report intervals.
+	BurstOutageMean time.Duration
+	// BurstOutageRate is the per-report probability an outage starts.
+	BurstOutageRate float64
+	// Measurement noise of the reported fields. Real AIS positions are
+	// GPS-grade (~15 m), while COG/SOG are single-epoch estimates whose
+	// error is what makes pure dead reckoning drift (Table 1's linear
+	// kinematic baseline relies on exactly these two fields).
+	PosNoiseMeters float64
+	SOGNoiseKnots  float64
+	COGNoiseDeg    float64
+}
+
+// DefaultChannel mimics the blended terrestrial+satellite feed: mostly
+// dense reporting with a heavy tail of long gaps.
+var DefaultChannel = ChannelConfig{
+	DropProbability: 0.25,
+	JitterFraction:  0.15,
+	BurstOutageMean: 9 * time.Minute,
+	BurstOutageRate: 0.012,
+	PosNoiseMeters:  15,
+	SOGNoiseKnots:   0.3,
+	COGNoiseDeg:     2.5,
+}
+
+// reportingInterval returns the ITU-R M.1371 nominal reporting interval
+// for the current dynamic state.
+func reportingInterval(class ais.Class, sog, turnRate float64, moored bool) time.Duration {
+	if class == ais.ClassB {
+		if sog <= 2 {
+			return 3 * time.Minute
+		}
+		return 30 * time.Second
+	}
+	switch {
+	case moored || sog <= 0.2:
+		return 3 * time.Minute
+	case sog <= 14:
+		if turnRate > 5 {
+			return 3300 * time.Millisecond
+		}
+		return 10 * time.Second
+	case sog <= 23:
+		if turnRate > 5 {
+			return 2 * time.Second
+		}
+		return 6 * time.Second
+	default:
+		return 2 * time.Second
+	}
+}
+
+// simVessel is one vessel's full simulation state.
+type simVessel struct {
+	vessel     Vessel
+	motion     motionState
+	lastMoved  time.Time
+	nextTx     time.Time
+	mooredOnce bool
+	rng        *rand.Rand
+	home       geo.BBox // region to pick the next route inside; zero = global
+	regional   bool
+}
+
+// World simulates a fleet and yields received AIS reports in global
+// time order.
+type World struct {
+	rng     *rand.Rand
+	channel ChannelConfig
+	clock   time.Time
+	queue   txQueue
+	ports   []Port
+	// KeepSailing makes vessels pick a new route after arriving, so
+	// long-running scalability experiments never run out of traffic.
+	KeepSailing bool
+}
+
+// Config configures NewWorld.
+type Config struct {
+	Vessels int
+	Seed    int64
+	// Region restricts ports and routes to a bounding box; the zero box
+	// means the whole catalog.
+	Region geo.BBox
+	// Channel defaults to DefaultChannel when zero.
+	Channel     *ChannelConfig
+	Start       time.Time
+	KeepSailing bool
+}
+
+// NewWorld creates a fleet of vessels mid-voyage on lanes between
+// catalog ports.
+func NewWorld(cfg Config) *World {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	ch := DefaultChannel
+	if cfg.Channel != nil {
+		ch = *cfg.Channel
+	}
+	start := cfg.Start
+	if start.IsZero() {
+		start = time.Date(2021, 11, 2, 0, 0, 0, 0, time.UTC)
+	}
+	regional := cfg.Region != (geo.BBox{})
+	ports := Ports
+	if regional {
+		ports = PortsWithin(cfg.Region)
+		if len(ports) < 2 {
+			ports = Ports
+			regional = false
+		}
+	}
+	w := &World{rng: rng, channel: ch, clock: start, ports: ports, KeepSailing: cfg.KeepSailing}
+	for i := 0; i < cfg.Vessels; i++ {
+		v := NewVessel(i, rng)
+		sv := &simVessel{
+			vessel:   v,
+			rng:      rand.New(rand.NewSource(cfg.Seed ^ int64(i)*0x9E3779B9)),
+			home:     cfg.Region,
+			regional: regional,
+		}
+		w.assignRoute(sv, true)
+		sv.lastMoved = start
+		sv.nextTx = start.Add(time.Duration(sv.rng.Float64() * float64(10*time.Second)))
+		heap.Push(&w.queue, sv)
+	}
+	return w
+}
+
+func (w *World) assignRoute(sv *simVessel, midVoyage bool) {
+	origin := w.ports[sv.rng.Intn(len(w.ports))]
+	dest := w.ports[sv.rng.Intn(len(w.ports))]
+	for tries := 0; dest.Name == origin.Name && tries < 10; tries++ {
+		dest = w.ports[sv.rng.Intn(len(w.ports))]
+	}
+	route := BuildRoute(origin, dest, sv.vessel.Profile.LaneJitterMeters, sv.rng)
+	frac := 0.0
+	if midVoyage {
+		frac = sv.rng.Float64() * 0.8
+	}
+	sv.motion = newMotionState(route, frac)
+	sv.motion.rng = sv.rng
+	sv.motion.sog = sv.vessel.Profile.CruiseKn * (0.8 + sv.rng.Float64()*0.2)
+}
+
+// Next returns the next received AIS report, advancing simulated time.
+// It never returns false while vessels are sailing (and with
+// KeepSailing, never at all); the caller bounds iteration by count or
+// by the report timestamps.
+func (w *World) Next() (Report, bool) {
+	for {
+		if w.queue.Len() == 0 {
+			return Report{}, false
+		}
+		sv := heap.Pop(&w.queue).(*simVessel)
+		txTime := sv.nextTx
+		w.clock = txTime
+
+		dt := txTime.Sub(sv.lastMoved).Seconds()
+		sailing := sv.motion.advance(dt, sv.vessel.Profile)
+		sv.lastMoved = txTime
+
+		if !sailing {
+			if w.KeepSailing {
+				// Dwell in port 1-4 hours, then sail a new route.
+				if !sv.mooredOnce {
+					sv.mooredOnce = true
+					dwell := time.Duration(1+sv.rng.Float64()*3) * time.Hour
+					sv.nextTx = txTime.Add(dwell)
+					heap.Push(&w.queue, sv)
+					continue
+				}
+				sv.mooredOnce = false
+				w.assignRoute(sv, false)
+			} else if sv.mooredOnce {
+				// Finished vessels drop out of the simulation.
+				continue
+			} else {
+				sv.mooredOnce = true
+			}
+		}
+
+		// Schedule the next transmission from the ITU cadence.
+		interval := reportingInterval(sv.vessel.Profile.Class, sv.motion.sog,
+			sv.motion.turnRate(sv.vessel.Profile), sv.motion.moored)
+		j := w.channel.JitterFraction
+		scale := 1 + (sv.rng.Float64()*(4*j) - j)
+		sv.nextTx = txTime.Add(time.Duration(float64(interval) * scale))
+		// Occasional burst outage (satellite gap, terrain shadowing).
+		if w.channel.BurstOutageRate > 0 && sv.rng.Float64() < w.channel.BurstOutageRate {
+			outage := time.Duration(sv.rng.ExpFloat64() * float64(w.channel.BurstOutageMean))
+			sv.nextTx = sv.nextTx.Add(outage)
+		}
+		heap.Push(&w.queue, sv)
+
+		// Receive-path dropout: the ship moved and rescheduled, but the
+		// shore never heard this transmission.
+		if sv.rng.Float64() < w.channel.DropProbability {
+			continue
+		}
+
+		status := ais.StatusUnderWayEngine
+		if sv.motion.moored {
+			status = ais.StatusMoored
+		}
+		// Apply receiver-side measurement noise.
+		pos := sv.motion.pos
+		if w.channel.PosNoiseMeters > 0 {
+			pos = geo.Destination(pos, sv.rng.Float64()*360, math.Abs(sv.rng.NormFloat64())*w.channel.PosNoiseMeters)
+		}
+		sog := math.Max(0, sv.motion.sog+sv.rng.NormFloat64()*w.channel.SOGNoiseKnots)
+		cog := math.Mod(sv.motion.cog+sv.rng.NormFloat64()*w.channel.COGNoiseDeg+360, 360)
+		heading := int(math.Round(cog))
+		if heading >= 360 {
+			heading -= 360
+		}
+		return Report{
+			Vessel: &sv.vessel,
+			At:     txTime,
+			Pos: ais.PositionReport{
+				MMSI:      sv.vessel.MMSI,
+				Class:     sv.vessel.Profile.Class,
+				Status:    status,
+				Lat:       pos.Lat,
+				Lon:       pos.Lon,
+				SOG:       sog,
+				COG:       cog,
+				Heading:   heading,
+				ROT:       0,
+				Timestamp: txTime,
+			},
+		}, true
+	}
+}
+
+// Run drains reports until the simulated clock passes the duration or
+// the fleet stops transmitting, invoking emit for each report.
+func (w *World) Run(d time.Duration, emit func(Report)) int {
+	end := w.clock.Add(d)
+	n := 0
+	for {
+		r, ok := w.Next()
+		if !ok || r.At.After(end) {
+			return n
+		}
+		emit(r)
+		n++
+	}
+}
+
+// txQueue is a min-heap of vessels keyed by next transmission time.
+type txQueue []*simVessel
+
+func (q txQueue) Len() int           { return len(q) }
+func (q txQueue) Less(i, j int) bool { return q[i].nextTx.Before(q[j].nextTx) }
+func (q txQueue) Swap(i, j int)      { q[i], q[j] = q[j], q[i] }
+func (q *txQueue) Push(x any)        { *q = append(*q, x.(*simVessel)) }
+func (q *txQueue) Pop() any {
+	old := *q
+	n := len(old)
+	v := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return v
+}

@@ -1,0 +1,447 @@
+// Package hexgrid implements a hierarchical hexagonal spatial index in
+// the spirit of Uber H3, which the paper uses to key its cell and
+// collision actors and to rasterise traffic-flow forecasts.
+//
+// The index tiles the sinusoidal (equal-area) projection of the sphere
+// with pointy-top hexagons addressed by axial coordinates (q, r). The
+// sinusoidal projection keeps cell areas near-uniform across latitudes,
+// which is the property the system actually relies on: proximity
+// thresholds and traffic-flow counts must mean roughly the same thing in
+// the Aegean and in the North Sea. Exact H3 icosahedral geometry is not
+// reproduced (see DESIGN.md); the operations the pipeline needs —
+// point-to-cell, cell centroid, k-ring neighbourhoods, boundaries and a
+// parent/child hierarchy — are all provided with the same semantics.
+//
+// A Cell packs (resolution, q, r) into a uint64 so it can be used
+// directly as a map key and as an actor-registry name.
+//
+// Known distortions, both documented consequences of the projection:
+// the sinusoidal plane shears meridians away from the central one, so a
+// fixed geographic radius can span more hexagon steps at high latitude
+// and longitude (use DiskCovering, which compensates, when coverage of a
+// geographic radius must be guaranteed), and cells touching the
+// antimeridian seam are not adjacent to their geographic neighbours on
+// the other side. The paper's evaluation regions (European coverage,
+// Aegean) sit well away from both extremes.
+package hexgrid
+
+import (
+	"fmt"
+	"math"
+
+	"seatwin/internal/geo"
+)
+
+// MaxResolution is the finest supported resolution.
+const MaxResolution = 15
+
+// resolution 0 hexagons have a circumradius of 8 degrees (~890 km);
+// every subsequent resolution halves the radius (aperture 4).
+const res0Radius = 8.0
+
+const (
+	coordBits = 29
+	coordBias = 1 << (coordBits - 1) // center the signed axial range
+	coordMask = 1<<coordBits - 1
+)
+
+// Cell identifies one hexagon of the grid. The zero Cell is invalid.
+type Cell uint64
+
+// InvalidCell is returned for out-of-domain inputs.
+const InvalidCell Cell = 0
+
+func makeCell(res, q, r int) Cell {
+	if q < -coordBias || q >= coordBias || r < -coordBias || r >= coordBias {
+		return InvalidCell
+	}
+	return Cell(uint64(res+1)<<(2*coordBits) |
+		uint64(q+coordBias)<<coordBits |
+		uint64(r+coordBias))
+}
+
+// Resolution returns the cell's resolution in [0, MaxResolution], or -1
+// for the invalid cell.
+func (c Cell) Resolution() int {
+	return int(uint64(c)>>(2*coordBits)) - 1
+}
+
+// Valid reports whether the cell is a well-formed grid address.
+func (c Cell) Valid() bool {
+	r := c.Resolution()
+	return r >= 0 && r <= MaxResolution
+}
+
+func (c Cell) axial() (q, r int) {
+	q = int(uint64(c)>>coordBits&coordMask) - coordBias
+	r = int(uint64(c)&coordMask) - coordBias
+	return q, r
+}
+
+// String renders the cell as res:q:r for logging and actor names.
+func (c Cell) String() string {
+	if !c.Valid() {
+		return "hex:invalid"
+	}
+	q, r := c.axial()
+	return fmt.Sprintf("hex:%d:%d:%d", c.Resolution(), q, r)
+}
+
+// Radius returns the circumradius of hexagons at the given resolution,
+// expressed in projected degrees.
+func Radius(res int) float64 {
+	return res0Radius / float64(uint(1)<<uint(res))
+}
+
+// EdgeLengthMeters returns the approximate edge length of cells at the
+// given resolution, in meters. For a regular hexagon the edge length
+// equals the circumradius.
+func EdgeLengthMeters(res int) float64 {
+	perLat, _ := geo.MetersPerDegree(0)
+	return Radius(res) * perLat
+}
+
+// ResolutionForEdge returns the coarsest resolution whose cell edge is at
+// most the requested length in meters, clamped to the supported range.
+func ResolutionForEdge(maxEdgeMeters float64) int {
+	for res := 0; res <= MaxResolution; res++ {
+		if EdgeLengthMeters(res) <= maxEdgeMeters {
+			return res
+		}
+	}
+	return MaxResolution
+}
+
+// project maps a geographic point onto the sinusoidal plane (x easting,
+// y northing, both in degrees).
+func project(p geo.Point) (x, y float64) {
+	lat := p.Lat
+	if lat > 89.9 {
+		lat = 89.9
+	} else if lat < -89.9 {
+		lat = -89.9
+	}
+	return geo.NormalizeLon(p.Lon) * math.Cos(lat*math.Pi/180), lat
+}
+
+// unproject maps a plane point back to geographic coordinates.
+func unproject(x, y float64) geo.Point {
+	lat := y
+	if lat > 89.9 {
+		lat = 89.9
+	} else if lat < -89.9 {
+		lat = -89.9
+	}
+	c := math.Cos(lat * math.Pi / 180)
+	lon := x / c
+	return geo.Point{Lat: lat, Lon: geo.NormalizeLon(lon)}
+}
+
+// Pointy-top axial basis: given circumradius R,
+//
+//	x = R * sqrt(3) * (q + r/2)
+//	y = R * 3/2 * r
+func axialToPlane(res, q, r int) (x, y float64) {
+	rad := Radius(res)
+	x = rad * math.Sqrt(3) * (float64(q) + float64(r)/2)
+	y = rad * 1.5 * float64(r)
+	return x, y
+}
+
+func planeToAxial(res int, x, y float64) (q, r int) {
+	rad := Radius(res)
+	qf := (math.Sqrt(3)/3*x - y/3) / rad
+	rf := (2.0 / 3 * y) / rad
+	return hexRound(qf, rf)
+}
+
+// hexRound rounds fractional axial coordinates to the containing hexagon
+// using cube-coordinate rounding.
+func hexRound(qf, rf float64) (int, int) {
+	sf := -qf - rf
+	q := math.Round(qf)
+	r := math.Round(rf)
+	s := math.Round(sf)
+	dq := math.Abs(q - qf)
+	dr := math.Abs(r - rf)
+	ds := math.Abs(s - sf)
+	switch {
+	case dq > dr && dq > ds:
+		q = -r - s
+	case dr > ds:
+		r = -q - s
+	}
+	return int(q), int(r)
+}
+
+// LatLonToCell returns the cell containing p at the given resolution.
+func LatLonToCell(p geo.Point, res int) Cell {
+	if res < 0 || res > MaxResolution || !p.Valid() {
+		return InvalidCell
+	}
+	x, y := project(p)
+	q, r := planeToAxial(res, x, y)
+	return makeCell(res, q, r)
+}
+
+// Center returns the centroid of the cell in geographic coordinates.
+func (c Cell) Center() geo.Point {
+	if !c.Valid() {
+		return geo.Point{}
+	}
+	q, r := c.axial()
+	x, y := axialToPlane(c.Resolution(), q, r)
+	return unproject(x, y)
+}
+
+// Boundary returns the six corners of the cell in geographic
+// coordinates, counter-clockwise.
+func (c Cell) Boundary() []geo.Point {
+	if !c.Valid() {
+		return nil
+	}
+	res := c.Resolution()
+	q, r := c.axial()
+	cx, cy := axialToPlane(res, q, r)
+	rad := Radius(res)
+	pts := make([]geo.Point, 0, 6)
+	for i := 0; i < 6; i++ {
+		// pointy-top corners at 30 + 60*i degrees
+		ang := (math.Pi / 180) * (60*float64(i) + 30)
+		pts = append(pts, unproject(cx+rad*math.Cos(ang), cy+rad*math.Sin(ang)))
+	}
+	return pts
+}
+
+// axialDirections are the six neighbour offsets in axial coordinates.
+var axialDirections = [6][2]int{
+	{1, 0}, {1, -1}, {0, -1}, {-1, 0}, {-1, 1}, {0, 1},
+}
+
+// Neighbors returns the six cells adjacent to c.
+func (c Cell) Neighbors() []Cell {
+	if !c.Valid() {
+		return nil
+	}
+	res := c.Resolution()
+	q, r := c.axial()
+	out := make([]Cell, 0, 6)
+	for _, d := range axialDirections {
+		if n := makeCell(res, q+d[0], r+d[1]); n != InvalidCell {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// GridDisk returns all cells within k hexagon steps of c, including c
+// itself: 1 + 3k(k+1) cells (H3's kRing).
+func (c Cell) GridDisk(k int) []Cell {
+	if !c.Valid() || k < 0 {
+		return nil
+	}
+	res := c.Resolution()
+	cq, cr := c.axial()
+	out := make([]Cell, 0, 1+3*k*(k+1))
+	for dq := -k; dq <= k; dq++ {
+		lo := max(-k, -dq-k)
+		hi := min(k, -dq+k)
+		for dr := lo; dr <= hi; dr++ {
+			if cell := makeCell(res, cq+dq, cr+dr); cell != InvalidCell {
+				out = append(out, cell)
+			}
+		}
+	}
+	return out
+}
+
+// GridRing returns the cells exactly k steps from c (6k cells for k>0).
+func (c Cell) GridRing(k int) []Cell {
+	if !c.Valid() || k < 0 {
+		return nil
+	}
+	if k == 0 {
+		return []Cell{c}
+	}
+	res := c.Resolution()
+	q, r := c.axial()
+	// Walk to the ring start then traverse its six sides.
+	q += axialDirections[4][0] * k
+	r += axialDirections[4][1] * k
+	out := make([]Cell, 0, 6*k)
+	for side := 0; side < 6; side++ {
+		for step := 0; step < k; step++ {
+			if cell := makeCell(res, q, r); cell != InvalidCell {
+				out = append(out, cell)
+			}
+			q += axialDirections[side][0]
+			r += axialDirections[side][1]
+		}
+	}
+	return out
+}
+
+// GridDistance returns the hex-step distance between two cells of the
+// same resolution, or -1 when the cells are incomparable.
+func GridDistance(a, b Cell) int {
+	if !a.Valid() || !b.Valid() || a.Resolution() != b.Resolution() {
+		return -1
+	}
+	aq, ar := a.axial()
+	bq, br := b.axial()
+	dq := aq - bq
+	dr := ar - br
+	ds := -dq - dr
+	return (abs(dq) + abs(dr) + abs(ds)) / 2
+}
+
+// Parent returns the cell at the next-coarser resolution whose centroid
+// region contains this cell's centroid. Like H3's aperture-7 hierarchy,
+// containment is approximate at cell borders.
+func (c Cell) Parent() Cell {
+	res := c.Resolution()
+	if res <= 0 {
+		return InvalidCell
+	}
+	return LatLonToCell(c.Center(), res-1)
+}
+
+// ParentAt returns the ancestor of c at the given coarser resolution.
+func (c Cell) ParentAt(res int) Cell {
+	cur := c
+	for cur.Valid() && cur.Resolution() > res {
+		cur = cur.Parent()
+	}
+	if !cur.Valid() || cur.Resolution() != res {
+		return InvalidCell
+	}
+	return cur
+}
+
+// Children returns the cells at the next-finer resolution whose
+// centroids fall inside this cell (approximately 4 for the aperture-4
+// hierarchy).
+func (c Cell) Children() []Cell {
+	res := c.Resolution()
+	if !c.Valid() || res >= MaxResolution {
+		return nil
+	}
+	// Candidate fine cells within two steps of the projected center.
+	center := LatLonToCell(c.Center(), res+1)
+	var out []Cell
+	for _, cand := range center.GridDisk(2) {
+		if cand.Parent() == c {
+			out = append(out, cand)
+		}
+	}
+	return out
+}
+
+// Cover returns the set of cells at the given resolution whose centers
+// fall inside the bounding box, useful for rasterising a region.
+func Cover(b geo.BBox, res int) []Cell {
+	if res < 0 || res > MaxResolution {
+		return nil
+	}
+	step := Radius(res) // sample at sub-cell spacing to not miss rows
+	seen := make(map[Cell]struct{})
+	var out []Cell
+	for lat := b.MinLat; lat <= b.MaxLat+step; lat += step {
+		for lon := b.MinLon; lon <= b.MaxLon+step; lon += step {
+			p := geo.Point{Lat: math.Min(lat, b.MaxLat), Lon: math.Min(lon, b.MaxLon)}
+			c := LatLonToCell(p, res)
+			if c == InvalidCell {
+				continue
+			}
+			if _, ok := seen[c]; !ok {
+				if b.Contains(c.Center()) {
+					seen[c] = struct{}{}
+					out = append(out, c)
+				}
+			}
+		}
+	}
+	return out
+}
+
+// DiskCovering returns the set of cells at the given resolution that is
+// guaranteed to contain every point within radiusMeters of p, taking the
+// projection's local shear into account. The proximity and collision
+// actors use it to decide which cell actors a position or forecast must
+// be shared with so that no geographically close pair is split across
+// unexamined cells.
+func DiskCovering(p geo.Point, res int, radiusMeters float64) []Cell {
+	c := LatLonToCell(p, res)
+	if c == InvalidCell {
+		return nil
+	}
+	perLat, _ := geo.MetersPerDegree(0)
+	planeDeg := radiusMeters / perLat
+	// Local shear of the sinusoidal projection: a north-south geographic
+	// displacement dy drags x by lon*sin(lat)*(pi/180)*dy.
+	shear := math.Abs(geo.NormalizeLon(p.Lon)*math.Sin(p.Lat*math.Pi/180)) * math.Pi / 180
+	maxPlane := planeDeg * (1 + shear)
+	// Grid distance k spans at least 1.5*R*k in the plane (hexagon
+	// apothem stacking), so this k covers maxPlane.
+	k := int(math.Ceil(maxPlane / (1.5 * Radius(res)))) // ≥ 0
+	return c.GridDisk(k)
+}
+
+// TraceLine returns the distinct cells visited along the segment from a
+// to b (inclusive of both endpoints' cells), in travel order. It
+// samples the segment at half-edge spacing, which cannot skip a cell of
+// the given resolution. Segments crossing the antimeridian seam return
+// only the cells on each side (documented projection limitation).
+func TraceLine(a, b geo.Point, res int) []Cell {
+	ca := LatLonToCell(a, res)
+	cb := LatLonToCell(b, res)
+	if ca == InvalidCell || cb == InvalidCell {
+		return nil
+	}
+	if ca == cb {
+		return []Cell{ca}
+	}
+	dist := geo.Haversine(a, b)
+	// Half-edge sampling cannot skip a cell in the projected plane; the
+	// geographic step shrinks by the local shear factor (see the
+	// package distortion notes).
+	mid := geo.Midpoint(a, b)
+	shear := math.Abs(geo.NormalizeLon(mid.Lon)*math.Sin(mid.Lat*math.Pi/180)) * math.Pi / 180
+	step := EdgeLengthMeters(res) / (2 * (1 + shear))
+	n := int(dist/step) + 1
+	out := []Cell{ca}
+	last := ca
+	for i := 1; i <= n; i++ {
+		p := geo.Interpolate(a, b, float64(i)/float64(n))
+		c := LatLonToCell(p, res)
+		if c != InvalidCell && c != last {
+			out = append(out, c)
+			last = c
+		}
+	}
+	if last != cb {
+		out = append(out, cb)
+	}
+	return out
+}
+
+func abs(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,35 @@
+package kvstore
+
+import (
+	"bufio"
+	"strings"
+	"testing"
+)
+
+// FuzzReadCommand hardens the RESP command parser against arbitrary
+// network bytes: it must never panic and never allocate absurdly from a
+// tiny input (a malicious length header must not reserve gigabytes).
+func FuzzReadCommand(f *testing.F) {
+	f.Add("*2\r\n$3\r\nGET\r\n$1\r\nk\r\n")
+	f.Add("PING\r\n")
+	f.Add("*1\r\n$4\r\nPING\r\n")
+	f.Add("*-1\r\n")
+	f.Add("*2\r\n$999999999\r\nx\r\n")
+	f.Add("$5\r\nhello\r\n")
+	f.Add("\r\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		r := bufio.NewReader(strings.NewReader(input))
+		for i := 0; i < 4; i++ { // a few commands per connection
+			args, err := readCommand(r)
+			if err != nil {
+				return
+			}
+			for _, a := range args {
+				// Parsed args cannot exceed the input length.
+				if len(a) > len(input) {
+					t.Fatalf("arg longer than input: %d > %d", len(a), len(input))
+				}
+			}
+		}
+	})
+}

@@ -1,0 +1,526 @@
+// Package kvstore implements the in-memory key-value store the writer
+// actor persists actor states into, playing the role Redis plays in the
+// paper's middleware: strings, hashes and sorted sets with TTLs,
+// publish/subscribe channels, snapshot persistence, and a line-protocol
+// TCP server (a RESP subset) so external middleware like the UI API can
+// read the state the same way it would from Redis.
+package kvstore
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+	"time"
+)
+
+// valueKind discriminates what a key holds; Redis-style type errors are
+// returned when a command addresses a key of the wrong kind.
+type valueKind uint8
+
+const (
+	kindString valueKind = iota
+	kindHash
+	kindZSet
+)
+
+type entry struct {
+	kind     valueKind
+	str      string
+	hash     map[string]string
+	zset     *zset
+	expireAt time.Time // zero means no expiry
+}
+
+func (e *entry) expired(now time.Time) bool {
+	return !e.expireAt.IsZero() && now.After(e.expireAt)
+}
+
+// ErrWrongType is returned when a key holds a value of another kind.
+var ErrWrongType = fmt.Errorf("kvstore: operation against a key holding the wrong kind of value")
+
+// Store is a thread-safe in-memory database.
+type Store struct {
+	mu   sync.RWMutex
+	data map[string]*entry
+
+	subMu  sync.RWMutex
+	subs   map[string]map[int]chan Message
+	nextID int
+
+	stopSweep chan struct{}
+	sweepOnce sync.Once
+}
+
+// Message is one pub/sub delivery.
+type Message struct {
+	Channel string
+	Payload string
+}
+
+// New creates an empty store with a background expiry sweeper.
+func New() *Store {
+	s := &Store{
+		data:      make(map[string]*entry),
+		subs:      make(map[string]map[int]chan Message),
+		stopSweep: make(chan struct{}),
+	}
+	go s.sweeper()
+	return s
+}
+
+// Close stops the background sweeper.
+func (s *Store) Close() {
+	s.sweepOnce.Do(func() { close(s.stopSweep) })
+}
+
+func (s *Store) sweeper() {
+	ticker := time.NewTicker(500 * time.Millisecond)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-s.stopSweep:
+			return
+		case now := <-ticker.C:
+			s.mu.Lock()
+			for k, e := range s.data {
+				if e.expired(now) {
+					delete(s.data, k)
+				}
+			}
+			s.mu.Unlock()
+		}
+	}
+}
+
+// live returns the entry for key if present and unexpired; callers hold
+// at least a read lock. Expired entries are treated as absent (lazy
+// deletion happens on the next write or sweep).
+func (s *Store) live(key string) (*entry, bool) {
+	e, ok := s.data[key]
+	if !ok || e.expired(time.Now()) {
+		return nil, false
+	}
+	return e, true
+}
+
+// Set stores a string value, clearing any previous TTL.
+func (s *Store) Set(key, value string) {
+	s.mu.Lock()
+	s.data[key] = &entry{kind: kindString, str: value}
+	s.mu.Unlock()
+}
+
+// SetEx stores a string value with a TTL.
+func (s *Store) SetEx(key, value string, ttl time.Duration) {
+	s.mu.Lock()
+	s.data[key] = &entry{kind: kindString, str: value, expireAt: time.Now().Add(ttl)}
+	s.mu.Unlock()
+}
+
+// Get returns the string stored at key.
+func (s *Store) Get(key string) (string, bool, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	e, ok := s.live(key)
+	if !ok {
+		return "", false, nil
+	}
+	if e.kind != kindString {
+		return "", false, ErrWrongType
+	}
+	return e.str, true, nil
+}
+
+// Del removes keys, returning how many existed.
+func (s *Store) Del(keys ...string) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := 0
+	for _, k := range keys {
+		if _, ok := s.live(k); ok {
+			n++
+		}
+		delete(s.data, k)
+	}
+	return n
+}
+
+// Exists reports whether the key is present and unexpired.
+func (s *Store) Exists(key string) bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	_, ok := s.live(key)
+	return ok
+}
+
+// Expire sets a TTL on an existing key.
+func (s *Store) Expire(key string, ttl time.Duration) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.live(key)
+	if !ok {
+		return false
+	}
+	e.expireAt = time.Now().Add(ttl)
+	return true
+}
+
+// TTL returns the remaining time to live, ok=false when the key is
+// missing, and a negative duration when the key has no expiry.
+func (s *Store) TTL(key string) (time.Duration, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	e, ok := s.live(key)
+	if !ok {
+		return 0, false
+	}
+	if e.expireAt.IsZero() {
+		return -1, true
+	}
+	return time.Until(e.expireAt), true
+}
+
+// Keys returns all live keys (test/introspection helper; O(n)).
+func (s *Store) Keys() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]string, 0, len(s.data))
+	now := time.Now()
+	for k, e := range s.data {
+		if !e.expired(now) {
+			out = append(out, k)
+		}
+	}
+	return out
+}
+
+// Len returns the number of live keys.
+func (s *Store) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	n := 0
+	now := time.Now()
+	for _, e := range s.data {
+		if !e.expired(now) {
+			n++
+		}
+	}
+	return n
+}
+
+// HSet sets field to value in the hash at key, creating the hash as
+// needed. It returns true when the field is new.
+func (s *Store) HSet(key, field, value string) (bool, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.live(key)
+	if !ok {
+		e = &entry{kind: kindHash, hash: make(map[string]string)}
+		s.data[key] = e
+	} else if e.kind != kindHash {
+		return false, ErrWrongType
+	}
+	_, existed := e.hash[field]
+	e.hash[field] = value
+	return !existed, nil
+}
+
+// HGet returns the value of field in the hash at key.
+func (s *Store) HGet(key, field string) (string, bool, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	e, ok := s.live(key)
+	if !ok {
+		return "", false, nil
+	}
+	if e.kind != kindHash {
+		return "", false, ErrWrongType
+	}
+	v, ok := e.hash[field]
+	return v, ok, nil
+}
+
+// HGetAll returns a copy of the whole hash at key.
+func (s *Store) HGetAll(key string) (map[string]string, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	e, ok := s.live(key)
+	if !ok {
+		return map[string]string{}, nil
+	}
+	if e.kind != kindHash {
+		return nil, ErrWrongType
+	}
+	out := make(map[string]string, len(e.hash))
+	for f, v := range e.hash {
+		out[f] = v
+	}
+	return out, nil
+}
+
+// HDel removes fields from the hash at key, returning how many existed.
+func (s *Store) HDel(key string, fields ...string) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.live(key)
+	if !ok {
+		return 0, nil
+	}
+	if e.kind != kindHash {
+		return 0, ErrWrongType
+	}
+	n := 0
+	for _, f := range fields {
+		if _, ok := e.hash[f]; ok {
+			delete(e.hash, f)
+			n++
+		}
+	}
+	if len(e.hash) == 0 {
+		delete(s.data, key)
+	}
+	return n, nil
+}
+
+// HLen returns the number of fields in the hash at key.
+func (s *Store) HLen(key string) (int, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	e, ok := s.live(key)
+	if !ok {
+		return 0, nil
+	}
+	if e.kind != kindHash {
+		return 0, ErrWrongType
+	}
+	return len(e.hash), nil
+}
+
+// ZAdd inserts or updates a member with the given score in the sorted
+// set at key, returning true when the member is new.
+func (s *Store) ZAdd(key string, score float64, member string) (bool, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.live(key)
+	if !ok {
+		e = &entry{kind: kindZSet, zset: newZSet()}
+		s.data[key] = e
+	} else if e.kind != kindZSet {
+		return false, ErrWrongType
+	}
+	return e.zset.add(score, member), nil
+}
+
+// ZScore returns the score of a member in the sorted set at key.
+func (s *Store) ZScore(key, member string) (float64, bool, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	e, ok := s.live(key)
+	if !ok {
+		return 0, false, nil
+	}
+	if e.kind != kindZSet {
+		return 0, false, ErrWrongType
+	}
+	sc, ok := e.zset.score(member)
+	return sc, ok, nil
+}
+
+// ZRem removes members from the sorted set at key.
+func (s *Store) ZRem(key string, members ...string) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.live(key)
+	if !ok {
+		return 0, nil
+	}
+	if e.kind != kindZSet {
+		return 0, ErrWrongType
+	}
+	n := 0
+	for _, m := range members {
+		if e.zset.remove(m) {
+			n++
+		}
+	}
+	if e.zset.len() == 0 {
+		delete(s.data, key)
+	}
+	return n, nil
+}
+
+// ZCard returns the cardinality of the sorted set at key.
+func (s *Store) ZCard(key string) (int, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	e, ok := s.live(key)
+	if !ok {
+		return 0, nil
+	}
+	if e.kind != kindZSet {
+		return 0, ErrWrongType
+	}
+	return e.zset.len(), nil
+}
+
+// ZMember is one member/score pair returned by range queries.
+type ZMember struct {
+	Member string
+	Score  float64
+}
+
+// ZRangeByScore returns members with min <= score <= max in score order.
+func (s *Store) ZRangeByScore(key string, min, max float64) ([]ZMember, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	e, ok := s.live(key)
+	if !ok {
+		return nil, nil
+	}
+	if e.kind != kindZSet {
+		return nil, ErrWrongType
+	}
+	return e.zset.rangeByScore(min, max), nil
+}
+
+// Publish delivers payload to every subscriber of channel, returning
+// the number of receivers. Slow subscribers drop messages rather than
+// block the publisher (the writer actor must never stall on a reader).
+func (s *Store) Publish(channel, payload string) int {
+	s.subMu.RLock()
+	defer s.subMu.RUnlock()
+	n := 0
+	for _, ch := range s.subs[channel] {
+		select {
+		case ch <- Message{Channel: channel, Payload: payload}:
+			n++
+		default:
+		}
+	}
+	return n
+}
+
+// Subscribe returns a channel of messages published to the named
+// channel and a cancel function.
+func (s *Store) Subscribe(channel string, buffer int) (<-chan Message, func()) {
+	if buffer <= 0 {
+		buffer = 64
+	}
+	ch := make(chan Message, buffer)
+	s.subMu.Lock()
+	id := s.nextID
+	s.nextID++
+	if s.subs[channel] == nil {
+		s.subs[channel] = make(map[int]chan Message)
+	}
+	s.subs[channel][id] = ch
+	s.subMu.Unlock()
+	var once sync.Once
+	return ch, func() {
+		once.Do(func() {
+			s.subMu.Lock()
+			if m := s.subs[channel]; m != nil {
+				delete(m, id)
+				if len(m) == 0 {
+					delete(s.subs, channel)
+				}
+			}
+			// Safe: publishers hold subMu.RLock while sending, so once
+			// the entry is gone no send can race this close.
+			close(ch)
+			s.subMu.Unlock()
+		})
+	}
+}
+
+// snapshotEntry is the gob-encodable form of one key.
+type snapshotEntry struct {
+	Key      string
+	Kind     uint8
+	Str      string
+	Hash     map[string]string
+	ZMembers []ZMember
+	ExpireAt time.Time
+}
+
+// Save writes an RDB-like snapshot of the live dataset.
+func (s *Store) Save(w io.Writer) error {
+	s.mu.RLock()
+	now := time.Now()
+	snap := make([]snapshotEntry, 0, len(s.data))
+	for k, e := range s.data {
+		if e.expired(now) {
+			continue
+		}
+		se := snapshotEntry{Key: k, Kind: uint8(e.kind), Str: e.str, ExpireAt: e.expireAt}
+		if e.hash != nil {
+			se.Hash = make(map[string]string, len(e.hash))
+			for f, v := range e.hash {
+				se.Hash[f] = v
+			}
+		}
+		if e.zset != nil {
+			se.ZMembers = e.zset.rangeByScore(negInf, posInf)
+		}
+		snap = append(snap, se)
+	}
+	s.mu.RUnlock()
+	return gob.NewEncoder(w).Encode(snap)
+}
+
+// Load replaces the dataset with a snapshot written by Save.
+func (s *Store) Load(r io.Reader) error {
+	var snap []snapshotEntry
+	if err := gob.NewDecoder(r).Decode(&snap); err != nil {
+		return err
+	}
+	data := make(map[string]*entry, len(snap))
+	for _, se := range snap {
+		e := &entry{kind: valueKind(se.Kind), str: se.Str, expireAt: se.ExpireAt}
+		if se.Hash != nil {
+			e.hash = se.Hash
+		}
+		if se.Kind == uint8(kindZSet) {
+			e.zset = newZSet()
+			for _, m := range se.ZMembers {
+				e.zset.add(m.Score, m.Member)
+			}
+		}
+		data[se.Key] = e
+	}
+	s.mu.Lock()
+	s.data = data
+	s.mu.Unlock()
+	return nil
+}
+
+// SaveFile snapshots to a file path atomically (write temp + rename).
+func (s *Store) SaveFile(path string) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if err := s.Save(f); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// LoadFile loads a snapshot file written by SaveFile.
+func (s *Store) LoadFile(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return s.Load(f)
+}

@@ -1,0 +1,102 @@
+package lvrf
+
+import (
+	"testing"
+	"time"
+
+	"seatwin/internal/fleetsim"
+	"seatwin/internal/geo"
+)
+
+// TestEndToEndFromSimulator mines trips out of a multi-day simulated
+// recording and verifies the full EnvClus* path: extraction → lane
+// graphs → route forecasts that stay close to the actual lane → usable
+// Patterns of Life.
+func TestEndToEndFromSimulator(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long simulation, skipped in short mode")
+	}
+	ds := fleetsim.Record(geo.AegeanSea, 120, 48*time.Hour, 5)
+	ports := map[string]geo.Point{}
+	for _, p := range fleetsim.PortsWithin(geo.AegeanSea) {
+		ports[p.Name] = p.Pos
+	}
+	var trips []Trip
+	for _, tr := range ds.Tracks {
+		in := TrackInput{
+			MMSI: uint32(tr.Vessel.MMSI),
+			Features: Features{
+				ShipType: uint8(tr.Vessel.Profile.Type),
+				Length:   float64(tr.Vessel.Profile.Length),
+				Draught:  tr.Vessel.Profile.Draught,
+			},
+		}
+		for _, r := range tr.Reports {
+			in.Positions = append(in.Positions, geo.Point{Lat: r.Lat, Lon: r.Lon})
+			in.Times = append(in.Times, r.Timestamp)
+		}
+		trips = append(trips, ExtractTrips(in, ports, 6000)...)
+	}
+	if len(trips) < 50 {
+		t.Fatalf("only %d trips mined from 48 h of traffic", len(trips))
+	}
+	// Every trip is well-formed.
+	for _, trip := range trips {
+		if trip.Origin == trip.Dest {
+			t.Fatalf("degenerate trip %s -> %s", trip.Origin, trip.Dest)
+		}
+		if trip.Duration() <= 0 || trip.Length() <= 0 {
+			t.Fatalf("empty trip metrics: %+v", trip)
+		}
+		// The extracted trip spans from leaving the origin's 6 km port
+		// radius to entering the destination's, so its floor is the
+		// great circle minus both approach zones.
+		gc := geo.Haversine(ports[trip.Origin], ports[trip.Dest])
+		if trip.Length() < gc-2*6000-2000 {
+			t.Fatalf("trip %s->%s shorter (%.0f m) than plausible floor (gc %.0f m)",
+				trip.Origin, trip.Dest, trip.Length(), gc)
+		}
+	}
+
+	model := Train(trips, ports, DefaultConfig())
+	pairs := model.Pairs()
+	if len(pairs) == 0 {
+		t.Fatal("no lanes learned")
+	}
+
+	// For each learned pair, the forecast path must start and end at the
+	// ports and track the historical trips reasonably.
+	checked := 0
+	for _, pr := range pairs {
+		if checked >= 10 {
+			break
+		}
+		path, err := model.ForecastRoute(pr[0], pr[1], Features{ShipType: 70, Length: 190, Draught: 10})
+		if err != nil {
+			t.Fatalf("%v: %v", pr, err)
+		}
+		if d := geo.Haversine(path[0], ports[pr[0]]); d > 10000 {
+			t.Fatalf("%v: path starts %.0f m from origin", pr, d)
+		}
+		if d := geo.Haversine(path[len(path)-1], ports[pr[1]]); d > 10000 {
+			t.Fatalf("%v: path ends %.0f m from destination", pr, d)
+		}
+		// Against one historical trip of the same pair.
+		for _, trip := range trips {
+			if trip.Origin == pr[0] && trip.Dest == pr[1] {
+				if ct := MeanCrossTrack(path, trip.Points); ct > 20000 {
+					t.Fatalf("%v: forecast %.0f m from a historical trip", pr, ct)
+				}
+				break
+			}
+		}
+		pol, err := model.PatternsOfLife(pr[0], pr[1])
+		if err != nil || pol.Trips < 3 || pol.MeanSpeedKn <= 0 {
+			t.Fatalf("%v: POL %+v err %v", pr, pol, err)
+		}
+		checked++
+	}
+	if checked == 0 {
+		t.Fatal("nothing checked")
+	}
+}

@@ -1,0 +1,310 @@
+package lvrf
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+
+	"seatwin/internal/geo"
+)
+
+var (
+	portA = geo.Point{Lat: 37.925, Lon: 23.600} // Piraeus-like
+	portB = geo.Point{Lat: 35.355, Lon: 25.145} // Heraklion-like
+	portC = geo.Point{Lat: 40.600, Lon: 22.920} // Thessaloniki-like
+	ports = map[string]geo.Point{"A": portA, "B": portB, "C": portC}
+	base  = time.Date(2023, 5, 1, 0, 0, 0, 0, time.UTC)
+)
+
+// laneTrip builds a synthetic trip from origin to dest bending through
+// a lateral offset at the midpoint (positive = starboard of the direct
+// course), with small per-trip noise.
+func laneTrip(mmsi uint32, f Features, origin, dest string, offsetMeters float64, rng *rand.Rand) Trip {
+	po, pd := ports[origin], ports[dest]
+	bearing := geo.InitialBearing(po, pd)
+	const steps = 30
+	trip := Trip{MMSI: mmsi, Features: f, Origin: origin, Dest: dest}
+	speed := 12.0 * geo.KnotsToMetersPerSecond
+	dist := geo.Haversine(po, pd)
+	for i := 0; i <= steps; i++ {
+		fr := float64(i) / steps
+		p := geo.Interpolate(po, pd, fr)
+		lateral := offsetMeters * math.Sin(math.Pi*fr)
+		if rng != nil {
+			lateral += rng.NormFloat64() * 500
+		}
+		p = geo.Destination(p, bearing+90, lateral)
+		trip.Points = append(trip.Points, p)
+		trip.Times = append(trip.Times, base.Add(time.Duration(fr*dist/speed)*time.Second))
+	}
+	return trip
+}
+
+func cargoF() Features { return Features{ShipType: 70, Length: 190, Draught: 10.5} }
+func ferryF() Features { return Features{ShipType: 60, Length: 150, Draught: 6.2} }
+
+func trainedModel(t *testing.T) *Model {
+	t.Helper()
+	rng := rand.New(rand.NewSource(1))
+	var trips []Trip
+	// Two distinct lanes A->B: cargo ships keep east (+12 km), ferries
+	// keep west (-12 km).
+	for i := 0; i < 20; i++ {
+		trips = append(trips, laneTrip(uint32(100+i), cargoF(), "A", "B", 12000, rng))
+		trips = append(trips, laneTrip(uint32(200+i), ferryF(), "A", "B", -12000, rng))
+	}
+	// One lane A->C.
+	for i := 0; i < 10; i++ {
+		trips = append(trips, laneTrip(uint32(300+i), cargoF(), "A", "C", 5000, rng))
+	}
+	return Train(trips, ports, DefaultConfig())
+}
+
+func TestTrainBuildsLanes(t *testing.T) {
+	m := trainedModel(t)
+	pairs := m.Pairs()
+	if len(pairs) != 2 {
+		t.Fatalf("pairs = %v", pairs)
+	}
+	if pairs[0] != [2]string{"A", "B"} || pairs[1] != [2]string{"A", "C"} {
+		t.Fatalf("pairs = %v", pairs)
+	}
+}
+
+func TestForecastFollowsLane(t *testing.T) {
+	m := trainedModel(t)
+	path, err := m.ForecastRoute("A", "B", cargoF())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(path) < 10 {
+		t.Fatalf("path has %d points", len(path))
+	}
+	// Endpoints near the ports.
+	if d := geo.Haversine(path[0], portA); d > 8000 {
+		t.Fatalf("path starts %.0f m from origin", d)
+	}
+	if d := geo.Haversine(path[len(path)-1], portB); d > 8000 {
+		t.Fatalf("path ends %.0f m from destination", d)
+	}
+	// The forecast must track the cargo lane closely.
+	truth := laneTrip(1, cargoF(), "A", "B", 12000, nil)
+	if ct := MeanCrossTrack(path, truth.Points); ct > 6000 {
+		t.Fatalf("cargo forecast %.0f m from cargo lane", ct)
+	}
+}
+
+func TestJunctionClassifierSeparatesTypes(t *testing.T) {
+	// Cargo and ferry lanes diverge by 24 km at the midpoint; the
+	// junction classifier must route each vessel type onto its lane.
+	m := trainedModel(t)
+	cargoPath, err := m.ForecastRoute("A", "B", cargoF())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ferryPath, err := m.ForecastRoute("A", "B", ferryF())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cargoTruth := laneTrip(1, cargoF(), "A", "B", 12000, nil)
+	ferryTruth := laneTrip(2, ferryF(), "A", "B", -12000, nil)
+
+	if own := MeanCrossTrack(cargoPath, cargoTruth.Points); own > 6000 {
+		t.Fatalf("cargo forecast misses cargo lane by %.0f m", own)
+	}
+	if own := MeanCrossTrack(ferryPath, ferryTruth.Points); own > 6000 {
+		t.Fatalf("ferry forecast misses ferry lane by %.0f m", own)
+	}
+	// Cross-assignments must be clearly worse.
+	if cross := MeanCrossTrack(cargoPath, ferryTruth.Points); cross < 8000 {
+		t.Fatalf("cargo forecast too close to ferry lane: %.0f m", cross)
+	}
+}
+
+func TestLaneHasJunction(t *testing.T) {
+	m := trainedModel(t)
+	branches, err := m.Junctions("A", "B")
+	if err != nil {
+		t.Fatal(err)
+	}
+	maxB := 0
+	for _, b := range branches {
+		if b > maxB {
+			maxB = b
+		}
+	}
+	if maxB < 2 {
+		t.Fatalf("two divergent lanes must create a junction, max branches %d", maxB)
+	}
+}
+
+func TestPatternsOfLife(t *testing.T) {
+	m := trainedModel(t)
+	pol, err := m.PatternsOfLife("A", "B")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pol.Trips != 40 {
+		t.Fatalf("trips = %d", pol.Trips)
+	}
+	if pol.DistinctMMSIs != 40 {
+		t.Fatalf("distinct MMSIs = %d", pol.DistinctMMSIs)
+	}
+	if pol.MeanSpeedKn < 8 || pol.MeanSpeedKn > 16 {
+		t.Fatalf("mean speed %.1f kn", pol.MeanSpeedKn)
+	}
+	gc := geo.Haversine(portA, portB)
+	if pol.MeanLengthM < gc || pol.MeanLengthM > gc*1.2 {
+		t.Fatalf("mean length %.0f m vs great circle %.0f m", pol.MeanLengthM, gc)
+	}
+	if pol.TypeHistogram[70] != 20 || pol.TypeHistogram[60] != 20 {
+		t.Fatalf("type histogram %v", pol.TypeHistogram)
+	}
+	if pol.MeanDuration <= 0 {
+		t.Fatal("mean duration missing")
+	}
+	if _, err := m.PatternsOfLife("B", "A"); err == nil {
+		t.Fatal("untrained pair must error")
+	}
+}
+
+func TestUnseenPairFallsBackToGreatCircle(t *testing.T) {
+	m := trainedModel(t)
+	path, err := m.ForecastRoute("B", "C", cargoF())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fallback is the great circle: every point within a small
+	// cross-track of the direct course.
+	for _, p := range path {
+		if xt := math.Abs(geo.CrossTrack(p, portB, portC)); xt > 1000 {
+			t.Fatalf("fallback deviates %.0f m from great circle", xt)
+		}
+	}
+	if _, err := m.ForecastRoute("A", "Nowhere", cargoF()); err == nil {
+		t.Fatal("unknown port must error")
+	}
+}
+
+func TestMinTripsThreshold(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	trips := []Trip{
+		laneTrip(1, cargoF(), "A", "B", 0, rng),
+		laneTrip(2, cargoF(), "A", "B", 0, rng),
+	}
+	m := Train(trips, ports, DefaultConfig()) // MinTrips = 3
+	if len(m.Pairs()) != 0 {
+		t.Fatal("two trips must not build a lane with MinTrips=3")
+	}
+}
+
+func TestDegenerateTripsIgnored(t *testing.T) {
+	trips := []Trip{
+		{MMSI: 1, Origin: "A", Dest: "A", Points: []geo.Point{portA, portA}},
+		{MMSI: 2, Origin: "A", Dest: "B", Points: []geo.Point{portA}},
+	}
+	m := Train(trips, ports, DefaultConfig())
+	if len(m.Pairs()) != 0 {
+		t.Fatal("degenerate trips must be ignored")
+	}
+}
+
+func TestExtractTrips(t *testing.T) {
+	// Build a track: moored at A, sail to B, moor, sail to C.
+	var positions []geo.Point
+	var times []time.Time
+	add := func(pts []geo.Point, start time.Time, step time.Duration) time.Time {
+		for i, p := range pts {
+			positions = append(positions, p)
+			times = append(times, start.Add(time.Duration(i)*step))
+		}
+		return times[len(times)-1].Add(step)
+	}
+	next := add([]geo.Point{portA, portA}, base, time.Minute)
+	legAB := laneTrip(9, cargoF(), "A", "B", 3000, nil)
+	next = add(legAB.Points, next, 20*time.Minute)
+	next = add([]geo.Point{portB, portB}, next, time.Minute)
+	legBC := laneTrip(9, cargoF(), "B", "C", -2000, nil)
+	next = add(legBC.Points, next, 20*time.Minute)
+	add([]geo.Point{portC}, next, time.Minute)
+
+	trips := ExtractTrips(TrackInput{
+		MMSI: 9, Features: cargoF(), Positions: positions, Times: times,
+	}, ports, 5000)
+	if len(trips) != 2 {
+		t.Fatalf("extracted %d trips, want 2", len(trips))
+	}
+	if trips[0].Origin != "A" || trips[0].Dest != "B" {
+		t.Fatalf("trip 0: %s -> %s", trips[0].Origin, trips[0].Dest)
+	}
+	if trips[1].Origin != "B" || trips[1].Dest != "C" {
+		t.Fatalf("trip 1: %s -> %s", trips[1].Origin, trips[1].Dest)
+	}
+	if trips[0].Duration() <= 0 || trips[0].Length() <= 0 {
+		t.Fatal("trip metrics must be positive")
+	}
+}
+
+func TestExtractTripsPartialVoyagesDropped(t *testing.T) {
+	// A track that starts mid-sea and ends mid-sea yields no trips.
+	legAB := laneTrip(9, cargoF(), "A", "B", 0, nil)
+	mid := legAB.Points[5:25]
+	var times []time.Time
+	for i := range mid {
+		times = append(times, base.Add(time.Duration(i)*10*time.Minute))
+	}
+	trips := ExtractTrips(TrackInput{MMSI: 9, Positions: mid, Times: times}, ports, 5000)
+	if len(trips) != 0 {
+		t.Fatalf("partial voyage produced %d trips", len(trips))
+	}
+}
+
+func TestResampleEquidistant(t *testing.T) {
+	trip := laneTrip(1, cargoF(), "A", "B", 10000, nil)
+	rs := resample(trip.Points, 20)
+	if len(rs) != 20 {
+		t.Fatalf("resampled to %d points", len(rs))
+	}
+	if geo.Haversine(rs[0], trip.Points[0]) > 1 {
+		t.Fatal("first point must be preserved")
+	}
+	if geo.Haversine(rs[19], trip.Points[len(trip.Points)-1]) > 1 {
+		t.Fatal("last point must be preserved")
+	}
+	// Consecutive gaps roughly equal.
+	d0 := geo.Haversine(rs[0], rs[1])
+	for i := 2; i < 20; i++ {
+		d := geo.Haversine(rs[i-1], rs[i])
+		if math.Abs(d-d0)/d0 > 0.25 {
+			t.Fatalf("gap %d deviates: %.0f vs %.0f", i, d, d0)
+		}
+	}
+}
+
+func BenchmarkTrain(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	var trips []Trip
+	for i := 0; i < 50; i++ {
+		trips = append(trips, laneTrip(uint32(i), cargoF(), "A", "B", 10000, rng))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Train(trips, ports, DefaultConfig())
+	}
+}
+
+func BenchmarkForecastRoute(b *testing.B) {
+	rng := rand.New(rand.NewSource(4))
+	var trips []Trip
+	for i := 0; i < 50; i++ {
+		trips = append(trips, laneTrip(uint32(i), cargoF(), "A", "B", 10000, rng))
+	}
+	m := Train(trips, ports, DefaultConfig())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.ForecastRoute("A", "B", cargoF()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

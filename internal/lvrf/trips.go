@@ -1,0 +1,79 @@
+package lvrf
+
+import (
+	"time"
+
+	"seatwin/internal/geo"
+)
+
+// TrackInput is one vessel's time-ordered positions plus the features
+// the junction classifiers use. It deliberately avoids AIS types so the
+// package can ingest any historical source.
+type TrackInput struct {
+	MMSI      uint32
+	Features  Features
+	Positions []geo.Point
+	Times     []time.Time
+}
+
+// ExtractTrips splits a track into port-to-port trips: a trip starts
+// when the vessel leaves the vicinity of a port and ends when it enters
+// the vicinity of a different port. Partial voyages (mid-sea start or
+// end) are discarded — EnvClus* trains only on complete trips.
+func ExtractTrips(track TrackInput, ports map[string]geo.Point, portRadiusMeters float64) []Trip {
+	if portRadiusMeters <= 0 {
+		portRadiusMeters = 5000
+	}
+	var trips []Trip
+	var cur *Trip
+	prevPort := nearestPort(track.Positions, 0, ports, portRadiusMeters)
+	for i := 1; i < len(track.Positions); i++ {
+		port := nearestPortAt(track.Positions[i], ports, portRadiusMeters)
+		switch {
+		case prevPort != "" && port == "":
+			// Departure: open a trip anchored at the port.
+			cur = &Trip{
+				MMSI:     track.MMSI,
+				Features: track.Features,
+				Origin:   prevPort,
+				Points:   []geo.Point{track.Positions[i-1], track.Positions[i]},
+				Times:    []time.Time{track.Times[i-1], track.Times[i]},
+			}
+		case cur != nil && port == "":
+			cur.Points = append(cur.Points, track.Positions[i])
+			cur.Times = append(cur.Times, track.Times[i])
+		case cur != nil && port != "":
+			// Arrival: close the trip.
+			cur.Points = append(cur.Points, track.Positions[i])
+			cur.Times = append(cur.Times, track.Times[i])
+			cur.Dest = port
+			if port != cur.Origin && len(cur.Points) >= 5 {
+				trips = append(trips, *cur)
+			}
+			cur = nil
+		}
+		prevPort = port
+	}
+	return trips
+}
+
+func nearestPort(positions []geo.Point, idx int, ports map[string]geo.Point, radius float64) string {
+	if idx >= len(positions) {
+		return ""
+	}
+	return nearestPortAt(positions[idx], ports, radius)
+}
+
+func nearestPortAt(p geo.Point, ports map[string]geo.Point, radius float64) string {
+	bestName, bestDist := "", radius
+	for name, pos := range ports {
+		// Cheap prefilter before the distance call.
+		if dLat := pos.Lat - p.Lat; dLat > 0.5 || dLat < -0.5 {
+			continue
+		}
+		if d := geo.FastDistance(p, pos); d < bestDist {
+			bestName, bestDist = name, d
+		}
+	}
+	return bestName
+}

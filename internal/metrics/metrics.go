@@ -1,0 +1,238 @@
+// Package metrics provides the evaluation and observability primitives
+// the paper's experiments report: displacement errors (Table 1),
+// detection confusion matrices (Table 2), and the moving-window
+// processing-time series of the scalability experiment (Figure 6).
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"time"
+)
+
+// DisplacementError accumulates average displacement error (ADE) per
+// prediction horizon, in meters.
+type DisplacementError struct {
+	sums   []float64
+	counts []int
+}
+
+// NewDisplacementError creates an accumulator for the given number of
+// horizons.
+func NewDisplacementError(horizons int) *DisplacementError {
+	return &DisplacementError{sums: make([]float64, horizons), counts: make([]int, horizons)}
+}
+
+// Add records the error of one prediction at one horizon index.
+func (d *DisplacementError) Add(horizon int, errMeters float64) {
+	d.sums[horizon] += errMeters
+	d.counts[horizon]++
+}
+
+// ADE returns the mean error at a horizon.
+func (d *DisplacementError) ADE(horizon int) float64 {
+	if d.counts[horizon] == 0 {
+		return 0
+	}
+	return d.sums[horizon] / float64(d.counts[horizon])
+}
+
+// MeanADE returns the mean over all horizons (the paper's "Mean ADE").
+func (d *DisplacementError) MeanADE() float64 {
+	sum, n := 0.0, 0
+	for h := range d.sums {
+		if d.counts[h] > 0 {
+			sum += d.ADE(h)
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+// Horizons returns the number of horizons tracked.
+func (d *DisplacementError) Horizons() int { return len(d.sums) }
+
+// Count returns the samples recorded at a horizon.
+func (d *DisplacementError) Count(horizon int) int { return d.counts[horizon] }
+
+// Confusion is a detection confusion matrix. TN is meaningful only when
+// the evaluation enumerates non-event candidates explicitly.
+type Confusion struct {
+	TP, FP, FN, TN int
+}
+
+// Precision returns TP / (TP + FP).
+func (c Confusion) Precision() float64 {
+	if c.TP+c.FP == 0 {
+		return 0
+	}
+	return float64(c.TP) / float64(c.TP+c.FP)
+}
+
+// Recall returns TP / (TP + FN).
+func (c Confusion) Recall() float64 {
+	if c.TP+c.FN == 0 {
+		return 0
+	}
+	return float64(c.TP) / float64(c.TP+c.FN)
+}
+
+// F1 returns the harmonic mean of precision and recall.
+func (c Confusion) F1() float64 {
+	p, r := c.Precision(), c.Recall()
+	if p+r == 0 {
+		return 0
+	}
+	return 2 * p * r / (p + r)
+}
+
+// Accuracy returns (TP+TN) / total. With TN = 0 (no enumerated
+// negatives) this degenerates to TP/(TP+FP+FN), close to how Table 2's
+// accuracy column behaves.
+func (c Confusion) Accuracy() float64 {
+	total := c.TP + c.FP + c.FN + c.TN
+	if total == 0 {
+		return 0
+	}
+	return float64(c.TP+c.TN) / float64(total)
+}
+
+// String renders the matrix compactly.
+func (c Confusion) String() string {
+	return fmt.Sprintf("TP=%d FP=%d FN=%d TN=%d P=%.2f R=%.2f F1=%.2f",
+		c.TP, c.FP, c.FN, c.TN, c.Precision(), c.Recall(), c.F1())
+}
+
+// MovingAverage is the fixed-window mean used in Figure 6 (window of
+// 100 actors/messages). It is not safe for concurrent use.
+type MovingAverage struct {
+	window []float64
+	next   int
+	filled int
+	sum    float64
+}
+
+// NewMovingAverage creates a window of the given size.
+func NewMovingAverage(size int) *MovingAverage {
+	return &MovingAverage{window: make([]float64, size)}
+}
+
+// Add inserts a value and returns the current mean.
+func (m *MovingAverage) Add(v float64) float64 {
+	if m.filled == len(m.window) {
+		m.sum -= m.window[m.next]
+	} else {
+		m.filled++
+	}
+	m.window[m.next] = v
+	m.sum += v
+	m.next = (m.next + 1) % len(m.window)
+	return m.Mean()
+}
+
+// Mean returns the current window mean.
+func (m *MovingAverage) Mean() float64 {
+	if m.filled == 0 {
+		return 0
+	}
+	return m.sum / float64(m.filled)
+}
+
+// Filled reports how many samples the window currently holds.
+func (m *MovingAverage) Filled() int { return m.filled }
+
+// LatencyRecorder aggregates processing-time observations with
+// reservoir-free exact quantiles up to a capacity, then degrades to a
+// coarse histogram. It is safe for concurrent use.
+type LatencyRecorder struct {
+	mu      sync.Mutex
+	samples []time.Duration
+	cap     int
+	count   int64
+	sum     time.Duration
+	max     time.Duration
+}
+
+// NewLatencyRecorder keeps up to capacity exact samples (older samples
+// are overwritten ring-style so quantiles reflect recent behaviour).
+func NewLatencyRecorder(capacity int) *LatencyRecorder {
+	if capacity <= 0 {
+		capacity = 1 << 16
+	}
+	return &LatencyRecorder{cap: capacity}
+}
+
+// Observe records one duration.
+func (l *LatencyRecorder) Observe(d time.Duration) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.count++
+	l.sum += d
+	if d > l.max {
+		l.max = d
+	}
+	if len(l.samples) < l.cap {
+		l.samples = append(l.samples, d)
+	} else {
+		l.samples[int(l.count)%l.cap] = d
+	}
+}
+
+// Snapshot summarises the recorded latencies.
+type Snapshot struct {
+	Count                    int64
+	Mean, P50, P95, P99, Max time.Duration
+}
+
+// Snapshot computes the summary.
+func (l *LatencyRecorder) Snapshot() Snapshot {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	s := Snapshot{Count: l.count, Max: l.max}
+	if l.count > 0 {
+		s.Mean = time.Duration(int64(l.sum) / l.count)
+	}
+	if len(l.samples) == 0 {
+		return s
+	}
+	sorted := append([]time.Duration(nil), l.samples...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	q := func(f float64) time.Duration {
+		idx := int(math.Ceil(f*float64(len(sorted)))) - 1
+		if idx < 0 {
+			idx = 0
+		}
+		if idx >= len(sorted) {
+			idx = len(sorted) - 1
+		}
+		return sorted[idx]
+	}
+	s.P50, s.P95, s.P99 = q(0.50), q(0.95), q(0.99)
+	return s
+}
+
+// Counter is a simple atomic-free mutex counter usable from actors.
+type Counter struct {
+	mu sync.Mutex
+	v  int64
+}
+
+// Inc adds n and returns the new value.
+func (c *Counter) Inc(n int64) int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.v += n
+	return c.v
+}
+
+// Value returns the current count.
+func (c *Counter) Value() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.v
+}

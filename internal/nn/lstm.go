@@ -1,0 +1,154 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+)
+
+// lstmCell holds the parameters of one LSTM direction. The four gate
+// weight matrices each map the concatenation [x_t ; h_{t-1}] (size
+// in+hidden) to hidden units.
+type lstmCell struct {
+	In, Hidden int
+	// Gate order: input (i), forget (f), candidate (g), output (o).
+	Wi, Wf, Wg, Wo *matrix // hidden x (in+hidden)
+	Bi, Bf, Bg, Bo *matrix // hidden x 1
+}
+
+func newLSTMCell(in, hidden int, rng *rand.Rand) *lstmCell {
+	scale := 1.0 / math.Sqrt(float64(in+hidden))
+	c := &lstmCell{
+		In: in, Hidden: hidden,
+		Wi: newMatrix(hidden, in+hidden, scale, rng),
+		Wf: newMatrix(hidden, in+hidden, scale, rng),
+		Wg: newMatrix(hidden, in+hidden, scale, rng),
+		Wo: newMatrix(hidden, in+hidden, scale, rng),
+		Bi: newMatrix(hidden, 1, 0, rng),
+		Bf: newMatrix(hidden, 1, 0, rng),
+		Bg: newMatrix(hidden, 1, 0, rng),
+		Bo: newMatrix(hidden, 1, 0, rng),
+	}
+	// Forget-gate bias starts at 1: standard trick so early training
+	// does not erase the cell state.
+	for i := range c.Bf.W {
+		c.Bf.W[i] = 1
+	}
+	return c
+}
+
+func (c *lstmCell) matrices() []*matrix {
+	return []*matrix{c.Wi, c.Wf, c.Wg, c.Wo, c.Bi, c.Bf, c.Bg, c.Bo}
+}
+
+// lstmStep caches one timestep's activations for backpropagation.
+type lstmStep struct {
+	x          []float64 // input at t
+	hPrev      []float64
+	cPrev      []float64
+	i, f, g, o []float64 // gate activations
+	c, h       []float64
+}
+
+// forward runs the cell over a sequence and returns the per-step cache.
+// The caller reads the final hidden state from the last step.
+func (c *lstmCell) forward(seq [][]float64) []lstmStep {
+	steps := make([]lstmStep, len(seq))
+	h := make([]float64, c.Hidden)
+	cc := make([]float64, c.Hidden)
+	for t, x := range seq {
+		st := lstmStep{
+			x:     x,
+			hPrev: h,
+			cPrev: cc,
+			i:     make([]float64, c.Hidden),
+			f:     make([]float64, c.Hidden),
+			g:     make([]float64, c.Hidden),
+			o:     make([]float64, c.Hidden),
+			c:     make([]float64, c.Hidden),
+			h:     make([]float64, c.Hidden),
+		}
+		for u := 0; u < c.Hidden; u++ {
+			zi := c.Bi.W[u]
+			zf := c.Bf.W[u]
+			zg := c.Bg.W[u]
+			zo := c.Bo.W[u]
+			row := u * (c.In + c.Hidden)
+			for k := 0; k < c.In; k++ {
+				zi += c.Wi.W[row+k] * x[k]
+				zf += c.Wf.W[row+k] * x[k]
+				zg += c.Wg.W[row+k] * x[k]
+				zo += c.Wo.W[row+k] * x[k]
+			}
+			for k := 0; k < c.Hidden; k++ {
+				hv := h[k]
+				zi += c.Wi.W[row+c.In+k] * hv
+				zf += c.Wf.W[row+c.In+k] * hv
+				zg += c.Wg.W[row+c.In+k] * hv
+				zo += c.Wo.W[row+c.In+k] * hv
+			}
+			st.i[u] = sigmoid(zi)
+			st.f[u] = sigmoid(zf)
+			st.g[u] = math.Tanh(zg)
+			st.o[u] = sigmoid(zo)
+			st.c[u] = st.f[u]*cc[u] + st.i[u]*st.g[u]
+			st.h[u] = st.o[u] * math.Tanh(st.c[u])
+		}
+		steps[t] = st
+		h = st.h
+		cc = st.c
+	}
+	return steps
+}
+
+// backward propagates dLast (gradient w.r.t. the final hidden state)
+// through time, accumulating parameter gradients. It returns nothing:
+// input gradients are not needed because the LSTM is the first layer.
+func (c *lstmCell) backward(steps []lstmStep, dLast []float64) {
+	dh := append([]float64(nil), dLast...)
+	dc := make([]float64, c.Hidden)
+	for t := len(steps) - 1; t >= 0; t-- {
+		st := steps[t]
+		dhPrev := make([]float64, c.Hidden)
+		dcPrev := make([]float64, c.Hidden)
+		for u := 0; u < c.Hidden; u++ {
+			tanhC := math.Tanh(st.c[u])
+			do := dh[u] * tanhC
+			dcU := dc[u] + dh[u]*st.o[u]*(1-tanhC*tanhC)
+			di := dcU * st.g[u]
+			dg := dcU * st.i[u]
+			df := dcU * st.cPrev[u]
+			dcPrev[u] = dcU * st.f[u]
+
+			// Pre-activation gradients.
+			zi := di * st.i[u] * (1 - st.i[u])
+			zf := df * st.f[u] * (1 - st.f[u])
+			zg := dg * (1 - st.g[u]*st.g[u])
+			zo := do * st.o[u] * (1 - st.o[u])
+
+			c.Bi.g[u] += zi
+			c.Bf.g[u] += zf
+			c.Bg.g[u] += zg
+			c.Bo.g[u] += zo
+
+			row := u * (c.In + c.Hidden)
+			for k := 0; k < c.In; k++ {
+				xv := st.x[k]
+				c.Wi.g[row+k] += zi * xv
+				c.Wf.g[row+k] += zf * xv
+				c.Wg.g[row+k] += zg * xv
+				c.Wo.g[row+k] += zo * xv
+			}
+			for k := 0; k < c.Hidden; k++ {
+				hv := st.hPrev[k]
+				idx := row + c.In + k
+				c.Wi.g[idx] += zi * hv
+				c.Wf.g[idx] += zf * hv
+				c.Wg.g[idx] += zg * hv
+				c.Wo.g[idx] += zo * hv
+				dhPrev[k] += zi*c.Wi.W[idx] + zf*c.Wf.W[idx] + zg*c.Wg.W[idx] + zo*c.Wo.W[idx]
+			}
+		}
+		dh = dhPrev
+		dc = dcPrev
+	}
+}

@@ -1,0 +1,411 @@
+package nn
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+	"os"
+	"runtime"
+	"sync"
+)
+
+// Config describes a SeqRegressor: a recurrent encoder (LSTM or BiLSTM)
+// over an input sequence followed by one fully connected linear layer
+// producing a fixed-size regression output — the Figure 3 architecture.
+type Config struct {
+	InputDim      int     // features per timestep (3 for S-VRF: dlat, dlon, dt)
+	Hidden        int     // LSTM units per direction
+	OutputDim     int     // regression outputs (12 for S-VRF: 6 x (dlat, dlon))
+	Bidirectional bool    // true: BiLSTM with concatenated final states
+	L1            float64 // in-layer L1 regularisation strength
+	Seed          int64   // weight initialisation seed
+}
+
+// Validate reports configuration errors early.
+func (c Config) Validate() error {
+	if c.InputDim <= 0 || c.Hidden <= 0 || c.OutputDim <= 0 {
+		return fmt.Errorf("nn: dimensions must be positive: %+v", c)
+	}
+	return nil
+}
+
+// SeqRegressor maps a variable-length sequence of feature vectors to a
+// fixed-size output vector.
+type SeqRegressor struct {
+	cfg Config
+	fw  *lstmCell
+	bw  *lstmCell // nil when unidirectional
+	out *matrix   // OutputDim x encDim
+	ob  *matrix   // OutputDim x 1
+	t   int       // Adam timestep
+	// clipNorm is set per Fit call from FitOptions.ClipNorm.
+	clipNorm float64
+}
+
+// NewSeqRegressor builds a model with seeded random initialisation.
+func NewSeqRegressor(cfg Config) (*SeqRegressor, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	m := &SeqRegressor{cfg: cfg}
+	m.fw = newLSTMCell(cfg.InputDim, cfg.Hidden, rng)
+	encDim := cfg.Hidden
+	if cfg.Bidirectional {
+		m.bw = newLSTMCell(cfg.InputDim, cfg.Hidden, rng)
+		encDim = 2 * cfg.Hidden
+	}
+	scale := 1.0 / float64(encDim)
+	m.out = newMatrix(cfg.OutputDim, encDim, scale, rng)
+	m.ob = newMatrix(cfg.OutputDim, 1, 0, rng)
+	return m, nil
+}
+
+// Config returns the model configuration.
+func (m *SeqRegressor) Config() Config { return m.cfg }
+
+func (m *SeqRegressor) matrices() []*matrix {
+	ms := append(m.fw.matrices(), m.out, m.ob)
+	if m.bw != nil {
+		ms = append(ms, m.bw.matrices()...)
+	}
+	return ms
+}
+
+// encode runs the recurrent encoder and returns the caches plus the
+// concatenated final hidden state.
+func (m *SeqRegressor) encode(seq [][]float64) (fwSteps, bwSteps []lstmStep, enc []float64) {
+	fwSteps = m.fw.forward(seq)
+	enc = make([]float64, 0, 2*m.cfg.Hidden)
+	enc = append(enc, fwSteps[len(fwSteps)-1].h...)
+	if m.bw != nil {
+		rev := make([][]float64, len(seq))
+		for i := range seq {
+			rev[i] = seq[len(seq)-1-i]
+		}
+		bwSteps = m.bw.forward(rev)
+		enc = append(enc, bwSteps[len(bwSteps)-1].h...)
+	}
+	return fwSteps, bwSteps, enc
+}
+
+// Predict runs a forward pass. It allocates all intermediate state, so
+// a single model may serve many goroutines concurrently as long as no
+// training step runs at the same time.
+func (m *SeqRegressor) Predict(seq [][]float64) []float64 {
+	if len(seq) == 0 {
+		return make([]float64, m.cfg.OutputDim)
+	}
+	_, _, enc := m.encode(seq)
+	y := make([]float64, m.cfg.OutputDim)
+	for o := 0; o < m.cfg.OutputDim; o++ {
+		z := m.ob.W[o]
+		row := o * len(enc)
+		for k, e := range enc {
+			z += m.out.W[row+k] * e
+		}
+		y[o] = z
+	}
+	return y
+}
+
+// Sample is one training example.
+type Sample struct {
+	Seq    [][]float64
+	Target []float64
+}
+
+// gradSample computes the loss for one sample and accumulates gradients.
+func (m *SeqRegressor) gradSample(s Sample) float64 {
+	fwSteps, bwSteps, enc := m.encode(s.Seq)
+	y := make([]float64, m.cfg.OutputDim)
+	for o := 0; o < m.cfg.OutputDim; o++ {
+		z := m.ob.W[o]
+		row := o * len(enc)
+		for k, e := range enc {
+			z += m.out.W[row+k] * e
+		}
+		y[o] = z
+	}
+	loss := 0.0
+	dy := make([]float64, m.cfg.OutputDim)
+	for o := range y {
+		diff := y[o] - s.Target[o]
+		loss += diff * diff
+		dy[o] = 2 * diff / float64(m.cfg.OutputDim)
+	}
+	loss /= float64(m.cfg.OutputDim)
+
+	dEnc := make([]float64, len(enc))
+	for o := 0; o < m.cfg.OutputDim; o++ {
+		m.ob.g[o] += dy[o]
+		row := o * len(enc)
+		for k, e := range enc {
+			m.out.g[row+k] += dy[o] * e
+			dEnc[k] += dy[o] * m.out.W[row+k]
+		}
+	}
+	m.fw.backward(fwSteps, dEnc[:m.cfg.Hidden])
+	if m.bw != nil {
+		m.bw.backward(bwSteps, dEnc[m.cfg.Hidden:])
+	}
+	return loss
+}
+
+func (m *SeqRegressor) zeroGrad() {
+	for _, mat := range m.matrices() {
+		mat.zeroGrad()
+	}
+}
+
+// Adam hyperparameters; fixed to the usual defaults.
+const (
+	adamBeta1 = 0.9
+	adamBeta2 = 0.999
+	adamEps   = 1e-8
+)
+
+// TrainBatch runs one optimisation step on a batch, spreading gradient
+// computation across workers, and returns the mean sample loss.
+func (m *SeqRegressor) TrainBatch(batch []Sample, lr float64, workers int) float64 {
+	if len(batch) == 0 {
+		return 0
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(batch) {
+		workers = len(batch)
+	}
+	m.zeroGrad()
+
+	var totalLoss float64
+	if workers == 1 {
+		for _, s := range batch {
+			totalLoss += m.gradSample(s)
+		}
+	} else {
+		replicas := make([]*SeqRegressor, workers)
+		losses := make([]float64, workers)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			replicas[w] = m.cloneForWorker()
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				for i := w; i < len(batch); i += workers {
+					losses[w] += replicas[w].gradSample(batch[i])
+				}
+			}(w)
+		}
+		wg.Wait()
+		master := m.matrices()
+		for w := 0; w < workers; w++ {
+			totalLoss += losses[w]
+			for i, mat := range replicas[w].matrices() {
+				master[i].addGradFrom(mat)
+			}
+		}
+	}
+
+	m.t++
+	invBatch := 1.0 / float64(len(batch))
+	if m.clipNorm > 0 {
+		// Global-norm clipping over the averaged gradient.
+		sumSq := 0.0
+		for _, mat := range m.matrices() {
+			for _, g := range mat.g {
+				v := g * invBatch
+				sumSq += v * v
+			}
+		}
+		if norm := math.Sqrt(sumSq); norm > m.clipNorm {
+			scale := m.clipNorm / norm
+			for _, mat := range m.matrices() {
+				for i := range mat.g {
+					mat.g[i] *= scale
+				}
+			}
+		}
+	}
+	for _, mat := range m.matrices() {
+		l1 := 0.0
+		if mat != m.ob { // no regularisation on biases' counterpart head bias
+			l1 = m.cfg.L1
+		}
+		mat.adamStep(lr, adamBeta1, adamBeta2, adamEps, l1, invBatch, m.t)
+	}
+	return totalLoss / float64(len(batch))
+}
+
+// cloneForWorker copies weights into a replica with private gradient
+// buffers.
+func (m *SeqRegressor) cloneForWorker() *SeqRegressor {
+	r := &SeqRegressor{cfg: m.cfg}
+	r.fw = &lstmCell{In: m.fw.In, Hidden: m.fw.Hidden,
+		Wi: m.fw.Wi.clone(), Wf: m.fw.Wf.clone(), Wg: m.fw.Wg.clone(), Wo: m.fw.Wo.clone(),
+		Bi: m.fw.Bi.clone(), Bf: m.fw.Bf.clone(), Bg: m.fw.Bg.clone(), Bo: m.fw.Bo.clone()}
+	if m.bw != nil {
+		r.bw = &lstmCell{In: m.bw.In, Hidden: m.bw.Hidden,
+			Wi: m.bw.Wi.clone(), Wf: m.bw.Wf.clone(), Wg: m.bw.Wg.clone(), Wo: m.bw.Wo.clone(),
+			Bi: m.bw.Bi.clone(), Bf: m.bw.Bf.clone(), Bg: m.bw.Bg.clone(), Bo: m.bw.Bo.clone()}
+	}
+	r.out = m.out.clone()
+	r.ob = m.ob.clone()
+	return r
+}
+
+// FitOptions controls Fit.
+type FitOptions struct {
+	Epochs    int
+	BatchSize int
+	LR        float64
+	Workers   int
+	Seed      int64 // shuffling seed
+	// ClipNorm, when positive, rescales the batch gradient so its
+	// global L2 norm does not exceed this value — the standard guard
+	// against exploding LSTM gradients. Zero disables clipping.
+	ClipNorm float64
+	// Progress, when non-nil, is invoked after each epoch with the mean
+	// training loss; returning false stops training early.
+	Progress func(epoch int, loss float64) bool
+}
+
+// Fit trains on the dataset with shuffled mini-batches.
+func (m *SeqRegressor) Fit(data []Sample, opt FitOptions) float64 {
+	if opt.Epochs <= 0 {
+		opt.Epochs = 1
+	}
+	if opt.BatchSize <= 0 {
+		opt.BatchSize = 32
+	}
+	if opt.LR <= 0 {
+		opt.LR = 1e-3
+	}
+	m.clipNorm = opt.ClipNorm
+	rng := rand.New(rand.NewSource(opt.Seed))
+	idx := make([]int, len(data))
+	for i := range idx {
+		idx[i] = i
+	}
+	lastLoss := 0.0
+	for e := 0; e < opt.Epochs; e++ {
+		rng.Shuffle(len(idx), func(i, j int) { idx[i], idx[j] = idx[j], idx[i] })
+		sum := 0.0
+		batches := 0
+		for start := 0; start < len(idx); start += opt.BatchSize {
+			end := start + opt.BatchSize
+			if end > len(idx) {
+				end = len(idx)
+			}
+			batch := make([]Sample, 0, end-start)
+			for _, i := range idx[start:end] {
+				batch = append(batch, data[i])
+			}
+			sum += m.TrainBatch(batch, opt.LR, opt.Workers)
+			batches++
+		}
+		if batches > 0 {
+			lastLoss = sum / float64(batches)
+		}
+		if opt.Progress != nil && !opt.Progress(e, lastLoss) {
+			break
+		}
+	}
+	return lastLoss
+}
+
+// MSE returns the mean squared error over a dataset without training.
+func (m *SeqRegressor) MSE(data []Sample) float64 {
+	if len(data) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, s := range data {
+		y := m.Predict(s.Seq)
+		for o := range y {
+			d := y[o] - s.Target[o]
+			sum += d * d
+		}
+	}
+	return sum / float64(len(data)*m.cfg.OutputDim)
+}
+
+// L1Norm returns the total absolute weight mass, used by tests to
+// verify the regulariser bites.
+func (m *SeqRegressor) L1Norm() float64 {
+	s := 0.0
+	for _, mat := range m.matrices() {
+		s += mat.l1Norm()
+	}
+	return s
+}
+
+// snapshot is the gob-serialisable model state.
+type snapshot struct {
+	Cfg     Config
+	Weights [][]float64
+}
+
+// Save writes the model (configuration and weights) to w.
+func (m *SeqRegressor) Save(w io.Writer) error {
+	snap := snapshot{Cfg: m.cfg}
+	for _, mat := range m.matrices() {
+		snap.Weights = append(snap.Weights, append([]float64(nil), mat.W...))
+	}
+	return gob.NewEncoder(w).Encode(snap)
+}
+
+// Load reads a model written by Save.
+func Load(r io.Reader) (*SeqRegressor, error) {
+	var snap snapshot
+	if err := gob.NewDecoder(r).Decode(&snap); err != nil {
+		return nil, err
+	}
+	m, err := NewSeqRegressor(snap.Cfg)
+	if err != nil {
+		return nil, err
+	}
+	mats := m.matrices()
+	if len(mats) != len(snap.Weights) {
+		return nil, fmt.Errorf("nn: snapshot has %d blocks, model wants %d", len(snap.Weights), len(mats))
+	}
+	for i, w := range snap.Weights {
+		if len(w) != len(mats[i].W) {
+			return nil, fmt.Errorf("nn: block %d has %d weights, want %d", i, len(w), len(mats[i].W))
+		}
+		copy(mats[i].W, w)
+	}
+	return m, nil
+}
+
+// SaveFile saves to a file path atomically.
+func (m *SeqRegressor) SaveFile(path string) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if err := m.Save(f); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// LoadFile loads a model written by SaveFile.
+func LoadFile(path string) (*SeqRegressor, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Load(f)
+}

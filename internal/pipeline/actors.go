@@ -1,0 +1,295 @@
+package pipeline
+
+import (
+	"fmt"
+	"strconv"
+	"sync/atomic"
+	"time"
+
+	"seatwin/internal/actor"
+	"seatwin/internal/ais"
+	"seatwin/internal/events"
+	"seatwin/internal/geo"
+	"seatwin/internal/hexgrid"
+)
+
+// Messages exchanged between the pipeline's actors.
+type (
+	// posMsg carries one position report to a vessel actor.
+	posMsg struct {
+		report     ais.PositionReport
+		receivedAt time.Time
+	}
+	// cellPosMsg shares a vessel position with a proximity cell actor.
+	cellPosMsg struct {
+		mmsi ais.MMSI
+		pos  geo.Point
+		at   time.Time
+	}
+	// forecastMsg shares a vessel's forecast with a collision actor.
+	forecastMsg struct {
+		forecast events.Forecast
+		at       time.Time
+	}
+	// eventMsg notifies writers (and affected vessel actors) of a
+	// detected or forecast event.
+	eventMsg struct {
+		event events.Event
+	}
+	// stateMsg carries a vessel's current state to a writer actor.
+	stateMsg struct {
+		report   ais.PositionReport
+		forecast []events.ForecastPoint
+	}
+)
+
+// vesselActor is the per-MMSI digital twin: it keeps the vessel's
+// recent history, runs the shared forecasting model and fans results
+// out to the spatial actors and the writer.
+type vesselActor struct {
+	p       *Pipeline
+	mmsi    ais.MMSI
+	history []ais.PositionReport
+	soff    *events.SwitchOffDetector
+	static  ais.StaticVoyage
+	// lastEvent mirrors the state the cell actors communicate back.
+	lastEvent events.Event
+}
+
+func newVesselActor(p *Pipeline, mmsi ais.MMSI) *vesselActor {
+	return &vesselActor{
+		p:    p,
+		mmsi: mmsi,
+		soff: events.NewSwitchOffDetector(p.cfg.SwitchOff),
+	}
+}
+
+// Receive implements actor.Actor.
+func (v *vesselActor) Receive(c *actor.Context) {
+	switch m := c.Message().(type) {
+	case posMsg:
+		start := time.Now()
+		v.onPosition(c, m)
+		v.p.observeProcessing(time.Since(start))
+	case ais.StaticVoyage:
+		v.static = m
+	case eventMsg:
+		// State communicated back from a cell or collision actor (§3).
+		v.lastEvent = m.event
+	}
+}
+
+func (v *vesselActor) onPosition(c *actor.Context, m posMsg) {
+	r := m.report
+	// Out-of-order reports are dropped: per-key broker ordering makes
+	// them rare, but satellite feeds can replay.
+	if n := len(v.history); n > 0 && !r.Timestamp.After(v.history[n-1].Timestamp) {
+		return
+	}
+	// Switch-off detection precedes the history append.
+	if e, fired := v.soff.Update(r.MMSI, geo.Point{Lat: r.Lat, Lon: r.Lon}, r.Timestamp); fired {
+		v.emitEvent(c, e, nil)
+	}
+	v.history = append(v.history, r)
+	if len(v.history) > v.p.cfg.HistoryLimit {
+		drop := len(v.history) - v.p.cfg.HistoryLimit
+		v.history = append(v.history[:0:0], v.history[drop:]...)
+	}
+
+	// Forecast with the shared model.
+	var forecast events.Forecast
+	haveForecast := false
+	if f, ok := v.p.cfg.Forecaster.ForecastTrack(v.history); ok {
+		forecast = f
+		haveForecast = true
+		atomic.AddInt64(&v.p.forecasts, 1)
+	}
+
+	if mon := v.p.congestion; mon != nil {
+		mon.ObservePosition(r.MMSI, geo.Point{Lat: r.Lat, Lon: r.Lon}, r.Timestamp)
+		if haveForecast {
+			mon.ObserveForecast(forecast)
+		}
+	}
+
+	if !v.p.cfg.DisableEventFanout {
+		// Positions go to the proximity cell actor of the report's cell
+		// and near neighbours, so borders cannot hide a close pair.
+		pos := geo.Point{Lat: r.Lat, Lon: r.Lon}
+		for _, cell := range hexgrid.DiskCovering(pos, v.p.cfg.ProximityResolution, v.p.cfg.Proximity.ThresholdMeters) {
+			c.Send(v.p.proximityActor(cell), cellPosMsg{mmsi: r.MMSI, pos: pos, at: r.Timestamp})
+		}
+		// Forecasts go to the collision actors of every cell the
+		// predicted track crosses plus each nearest neighbour (§5.2:
+		// "the respective cell n and each n+1 nearest cell"). Tracing
+		// the segments between forecast points keeps fast vessels from
+		// skipping cells that lie between two 5-minute positions.
+		if haveForecast {
+			seen := make(map[hexgrid.Cell]struct{}, 16)
+			for i := 1; i < len(forecast.Points); i++ {
+				for _, cell := range hexgrid.TraceLine(
+					forecast.Points[i-1].Pos, forecast.Points[i].Pos,
+					v.p.cfg.CollisionResolution) {
+					if _, dup := seen[cell]; dup {
+						continue
+					}
+					seen[cell] = struct{}{}
+					for _, n := range cell.GridDisk(1) {
+						if _, dup := seen[n]; !dup {
+							seen[n] = struct{}{}
+						}
+					}
+				}
+			}
+			for cell := range seen {
+				c.Send(v.p.collisionActor(cell), forecastMsg{forecast: forecast, at: r.Timestamp})
+			}
+		}
+	}
+
+	// Persist state through the writer actor.
+	msg := stateMsg{report: r}
+	if haveForecast {
+		msg.forecast = forecast.Points
+	}
+	c.Send(v.p.writerFor(r.MMSI), msg)
+}
+
+// emitEvent logs the event, persists it and notifies the involved
+// vessel actors.
+func (v *vesselActor) emitEvent(c *actor.Context, e events.Event, _ any) {
+	v.p.log.Append(e)
+	c.Send(v.p.writerFor(e.A), eventMsg{event: e})
+}
+
+// cellActor detects live close proximity among the vessels reporting
+// inside its hexgrid cell neighbourhood.
+type cellActor struct {
+	p          *Pipeline
+	detector   *events.ProximityDetector
+	passivator *passivator
+}
+
+// Receive implements actor.Actor.
+func (a *cellActor) Receive(c *actor.Context) {
+	if a.passivator.touch(c) {
+		return
+	}
+	m, ok := c.Message().(cellPosMsg)
+	if !ok {
+		return
+	}
+	for _, e := range a.detector.Update(m.mmsi, m.pos, m.at) {
+		a.p.log.Append(e)
+		c.Send(a.p.writerFor(e.A), eventMsg{event: e})
+		// Communicate the state back to the affected vessel actors.
+		c.Send(a.p.vesselActor(e.A), eventMsg{event: e})
+		c.Send(a.p.vesselActor(e.B), eventMsg{event: e})
+	}
+}
+
+// collisionActor forecasts collisions among the predicted trajectories
+// crossing its cell.
+type collisionActor struct {
+	p          *Pipeline
+	detector   *events.Detector
+	passivator *passivator
+}
+
+// Receive implements actor.Actor.
+func (a *collisionActor) Receive(c *actor.Context) {
+	if a.passivator.touch(c) {
+		return
+	}
+	m, ok := c.Message().(forecastMsg)
+	if !ok {
+		return
+	}
+	for _, e := range a.detector.Update(m.forecast, m.at) {
+		// Several collision actors can see the same pair (the forecast
+		// is shared with every touched cell and its neighbours); the
+		// pipeline deduplicates system-wide.
+		if !a.p.shouldEmitPair("cx/"+e.PairKey(), m.at, 5*time.Minute) {
+			continue
+		}
+		a.p.log.Append(e)
+		c.Send(a.p.writerFor(e.A), eventMsg{event: e})
+		c.Send(a.p.vesselActor(e.A), eventMsg{event: e})
+		c.Send(a.p.vesselActor(e.B), eventMsg{event: e})
+	}
+}
+
+// writerActor persists actor outputs into the kvstore middleware: the
+// vessel state hash, the event sorted set and a pub/sub notification —
+// the read side the HTTP API serves.
+type writerActor struct {
+	p *Pipeline
+}
+
+// Receive implements actor.Actor.
+func (w *writerActor) Receive(c *actor.Context) {
+	switch m := c.Message().(type) {
+	case stateMsg:
+		w.writeState(m)
+	case eventMsg:
+		w.writeEvent(m.event)
+	}
+}
+
+// StateOutput is the document produced onto the states output topic.
+type StateOutput struct {
+	Report   ais.PositionReport
+	Forecast []events.ForecastPoint
+}
+
+func (w *writerActor) writeState(m stateMsg) {
+	if ob := w.p.cfg.OutputBroker; ob != nil {
+		ob.Produce(w.p.cfg.OutputStatesTopic, m.report.MMSI.String(),
+			StateOutput{Report: m.report, Forecast: m.forecast})
+	}
+	key := "vessel:" + m.report.MMSI.String()
+	st := w.p.store
+	st.HSet(key, "lat", strconv.FormatFloat(m.report.Lat, 'f', 5, 64))
+	st.HSet(key, "lon", strconv.FormatFloat(m.report.Lon, 'f', 5, 64))
+	st.HSet(key, "sog", strconv.FormatFloat(m.report.SOG, 'f', 1, 64))
+	st.HSet(key, "cog", strconv.FormatFloat(m.report.COG, 'f', 1, 64))
+	st.HSet(key, "status", m.report.Status.String())
+	st.HSet(key, "ts", m.report.Timestamp.UTC().Format(time.RFC3339))
+	if len(m.forecast) > 0 {
+		st.HSet(key, "forecast", encodeForecast(m.forecast))
+	}
+	if sv, ok := w.p.Static(m.report.MMSI); ok {
+		st.HSet(key, "name", sv.Name)
+		st.HSet(key, "type", strconv.Itoa(int(sv.ShipType)))
+	}
+	// The active-vessel index, scored by last report time.
+	st.ZAdd("vessels:active", float64(m.report.Timestamp.Unix()), m.report.MMSI.String())
+}
+
+func (w *writerActor) writeEvent(e events.Event) {
+	if ob := w.p.cfg.OutputBroker; ob != nil {
+		ob.Produce(w.p.cfg.OutputEventsTopic, e.PairKey(), e)
+	}
+	member := fmt.Sprintf("%s|%s|%s|%.0fm|%s",
+		e.Kind, e.A, e.B, e.Meters, e.At.UTC().Format(time.RFC3339))
+	w.p.store.ZAdd("events:"+string(e.Kind), float64(e.At.Unix()), member)
+	w.p.store.Publish("events", member)
+}
+
+// encodeForecast renders forecast points compactly for the store:
+// "lat,lon,unix;..." — small enough for a hash field and trivially
+// parseable by the API layer.
+func encodeForecast(pts []events.ForecastPoint) string {
+	buf := make([]byte, 0, len(pts)*32)
+	for i, p := range pts {
+		if i > 0 {
+			buf = append(buf, ';')
+		}
+		buf = strconv.AppendFloat(buf, p.Pos.Lat, 'f', 5, 64)
+		buf = append(buf, ',')
+		buf = strconv.AppendFloat(buf, p.Pos.Lon, 'f', 5, 64)
+		buf = append(buf, ',')
+		buf = strconv.AppendInt(buf, p.At.Unix(), 10)
+	}
+	return string(buf)
+}

@@ -1,0 +1,341 @@
+package pipeline
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"seatwin/internal/lvrf"
+)
+
+// API is the middleware HTTP layer of Figure 2: it reads the state the
+// writer actors persisted into the kvstore and serves it to the UI.
+type API struct {
+	p   *Pipeline
+	srv *http.Server
+
+	mu sync.Mutex
+	ln net.Listener
+}
+
+// NewAPI builds the handler around a pipeline.
+func NewAPI(p *Pipeline) *API {
+	a := &API{p: p}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/api/health", a.handleHealth)
+	mux.HandleFunc("/api/stats", a.handleStats)
+	mux.HandleFunc("/api/vessels", a.handleVessels)
+	mux.HandleFunc("/api/vessels/", a.handleVessel)
+	mux.HandleFunc("/api/events", a.handleEvents)
+	mux.HandleFunc("/api/series", a.handleSeries)
+	mux.HandleFunc("/api/congestion", a.handleCongestion)
+	mux.HandleFunc("/api/route", a.handleRoute)
+	mux.HandleFunc("/metrics", a.handleMetrics)
+	a.srv = &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+	return a
+}
+
+// Handler exposes the mux (tests drive it via httptest).
+func (a *API) Handler() http.Handler { return a.srv.Handler }
+
+// ListenAndServe binds addr and serves until Close.
+func (a *API) ListenAndServe(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	a.mu.Lock()
+	a.ln = ln
+	a.mu.Unlock()
+	return a.srv.Serve(ln)
+}
+
+// Addr returns the bound address, or nil before ListenAndServe.
+func (a *API) Addr() net.Addr {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.ln == nil {
+		return nil
+	}
+	return a.ln.Addr()
+}
+
+// Close shuts the server down.
+func (a *API) Close() error { return a.srv.Close() }
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(v)
+}
+
+func (a *API) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, map[string]string{"status": "ok"})
+}
+
+func (a *API) handleStats(w http.ResponseWriter, _ *http.Request) {
+	s := a.p.Stats()
+	writeJSON(w, map[string]any{
+		"messages":     s.Messages,
+		"forecasts":    s.Forecasts,
+		"live_actors":  s.LiveActors,
+		"events":       s.Events,
+		"dead_letters": s.DeadLetter,
+		"latency_mean": s.Latency.Mean.String(),
+		"latency_p95":  s.Latency.P95.String(),
+		"latency_p99":  s.Latency.P99.String(),
+	})
+}
+
+// vesselJSON is one vessel state document.
+type vesselJSON struct {
+	MMSI     string         `json:"mmsi"`
+	Name     string         `json:"name,omitempty"`
+	Lat      float64        `json:"lat"`
+	Lon      float64        `json:"lon"`
+	SOG      float64        `json:"sog"`
+	COG      float64        `json:"cog"`
+	Status   string         `json:"status"`
+	At       string         `json:"ts"`
+	Forecast []forecastJSON `json:"forecast,omitempty"`
+}
+
+type forecastJSON struct {
+	Lat float64 `json:"lat"`
+	Lon float64 `json:"lon"`
+	At  int64   `json:"t"`
+}
+
+func (a *API) vesselDoc(mmsi string) (vesselJSON, bool) {
+	h, err := a.p.store.HGetAll("vessel:" + mmsi)
+	if err != nil || len(h) == 0 {
+		return vesselJSON{}, false
+	}
+	parse := func(s string) float64 {
+		v, _ := strconv.ParseFloat(s, 64)
+		return v
+	}
+	doc := vesselJSON{
+		MMSI:   mmsi,
+		Name:   h["name"],
+		Lat:    parse(h["lat"]),
+		Lon:    parse(h["lon"]),
+		SOG:    parse(h["sog"]),
+		COG:    parse(h["cog"]),
+		Status: h["status"],
+		At:     h["ts"],
+	}
+	if raw := h["forecast"]; raw != "" {
+		for _, part := range strings.Split(raw, ";") {
+			f := strings.Split(part, ",")
+			if len(f) != 3 {
+				continue
+			}
+			t, _ := strconv.ParseInt(f[2], 10, 64)
+			doc.Forecast = append(doc.Forecast, forecastJSON{
+				Lat: parse(f[0]), Lon: parse(f[1]), At: t,
+			})
+		}
+	}
+	return doc, true
+}
+
+func (a *API) handleVessels(w http.ResponseWriter, r *http.Request) {
+	limit := 100
+	if q := r.URL.Query().Get("limit"); q != "" {
+		if v, err := strconv.Atoi(q); err == nil && v > 0 {
+			limit = v
+		}
+	}
+	members, err := a.p.store.ZRangeByScore("vessels:active", 0, 1e18)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	// Newest first.
+	out := make([]vesselJSON, 0, limit)
+	for i := len(members) - 1; i >= 0 && len(out) < limit; i-- {
+		if doc, ok := a.vesselDoc(members[i].Member); ok {
+			out = append(out, doc)
+		}
+	}
+	writeJSON(w, out)
+}
+
+func (a *API) handleVessel(w http.ResponseWriter, r *http.Request) {
+	mmsi := strings.TrimPrefix(r.URL.Path, "/api/vessels/")
+	doc, ok := a.vesselDoc(mmsi)
+	if !ok {
+		http.Error(w, "unknown vessel", http.StatusNotFound)
+		return
+	}
+	writeJSON(w, doc)
+}
+
+func (a *API) handleEvents(w http.ResponseWriter, r *http.Request) {
+	limit := 100
+	if q := r.URL.Query().Get("limit"); q != "" {
+		if v, err := strconv.Atoi(q); err == nil && v > 0 {
+			limit = v
+		}
+	}
+	evs := a.p.log.Recent(limit)
+	type eventJSON struct {
+		Kind   string  `json:"kind"`
+		A      string  `json:"a"`
+		B      string  `json:"b,omitempty"`
+		At     string  `json:"at"`
+		Lat    float64 `json:"lat"`
+		Lon    float64 `json:"lon"`
+		Meters float64 `json:"meters,omitempty"`
+	}
+	out := make([]eventJSON, 0, len(evs))
+	for _, e := range evs {
+		ej := eventJSON{
+			Kind: string(e.Kind), A: e.A.String(),
+			At:  e.At.UTC().Format(time.RFC3339),
+			Lat: e.Pos.Lat, Lon: e.Pos.Lon, Meters: e.Meters,
+		}
+		if e.B != 0 {
+			ej.B = e.B.String()
+		}
+		out = append(out, ej)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].At < out[j].At })
+	writeJSON(w, out)
+}
+
+// handleRoute serves the L-VRF long-term route forecast and Patterns
+// of Life for an origin/destination port pair (§4.1; Figure 4a/4b):
+// GET /api/route?from=Piraeus&to=Heraklion&type=70&length=190&draught=10.5
+func (a *API) handleRoute(w http.ResponseWriter, r *http.Request) {
+	model := a.p.cfg.RouteModel
+	if model == nil {
+		http.Error(w, "route model not configured", http.StatusNotFound)
+		return
+	}
+	q := r.URL.Query()
+	from, to := q.Get("from"), q.Get("to")
+	if from == "" || to == "" {
+		http.Error(w, "from and to are required", http.StatusBadRequest)
+		return
+	}
+	parse := func(key string, def float64) float64 {
+		if s := q.Get(key); s != "" {
+			if v, err := strconv.ParseFloat(s, 64); err == nil {
+				return v
+			}
+		}
+		return def
+	}
+	features := lvrf.Features{
+		ShipType: uint8(parse("type", 70)),
+		Length:   parse("length", 190),
+		Draught:  parse("draught", 10),
+	}
+	path, err := model.ForecastRoute(from, to, features)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusNotFound)
+		return
+	}
+	type pointJSON struct {
+		Lat float64 `json:"lat"`
+		Lon float64 `json:"lon"`
+	}
+	doc := map[string]any{"from": from, "to": to}
+	pts := make([]pointJSON, 0, len(path))
+	for _, p := range path {
+		pts = append(pts, pointJSON{Lat: p.Lat, Lon: p.Lon})
+	}
+	doc["route"] = pts
+	if pol, err := model.PatternsOfLife(from, to); err == nil {
+		doc["patterns_of_life"] = map[string]any{
+			"trips":           pol.Trips,
+			"distinct_mmsis":  pol.DistinctMMSIs,
+			"mean_duration_s": int(pol.MeanDuration.Seconds()),
+			"std_duration_s":  int(pol.StdDuration.Seconds()),
+			"mean_length_m":   pol.MeanLengthM,
+			"mean_speed_kn":   pol.MeanSpeedKn,
+			"type_histogram":  pol.TypeHistogram,
+		}
+	}
+	writeJSON(w, doc)
+}
+
+func (a *API) handleCongestion(w http.ResponseWriter, _ *http.Request) {
+	mon := a.p.Congestion()
+	if mon == nil {
+		http.Error(w, "port monitoring not configured", http.StatusNotFound)
+		return
+	}
+	type portJSON struct {
+		Port      string  `json:"port"`
+		Lat       float64 `json:"lat"`
+		Lon       float64 `json:"lon"`
+		Capacity  int     `json:"capacity"`
+		Present   int     `json:"present"`
+		Arriving  int     `json:"arriving"`
+		Peak      int     `json:"peak_predicted"`
+		Congested bool    `json:"congested"`
+	}
+	snap := mon.Snapshot(time.Time{}) // zero = newest observed (sim time)
+	out := make([]portJSON, 0, len(snap))
+	for _, s := range snap {
+		out = append(out, portJSON{
+			Port: s.Port.Name, Lat: s.Port.Pos.Lat, Lon: s.Port.Pos.Lon,
+			Capacity: s.Port.Capacity, Present: s.Present,
+			Arriving: s.Arriving, Peak: s.PeakPredicted,
+			Congested: s.Congested(),
+		})
+	}
+	writeJSON(w, out)
+}
+
+// handleMetrics exposes the pipeline counters in the Prometheus text
+// exposition format, so standard observability tooling can scrape the
+// digital twin without an adapter.
+func (a *API) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	s := a.p.Stats()
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	var b strings.Builder
+	counter := func(name, help string, v float64) {
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s counter\n%s %g\n", name, help, name, name, v)
+	}
+	gauge := func(name, help string, v float64) {
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s gauge\n%s %g\n", name, help, name, name, v)
+	}
+	counter("seatwin_messages_total", "AIS position reports ingested", float64(s.Messages))
+	counter("seatwin_forecasts_total", "route forecasts produced", float64(s.Forecasts))
+	counter("seatwin_events_total", "maritime events detected or forecast", float64(s.Events))
+	counter("seatwin_dead_letters_total", "undeliverable actor messages", float64(s.DeadLetter))
+	counter("seatwin_bad_sentences_total", "rejected NMEA sentences", float64(a.p.BadSentences()))
+	gauge("seatwin_live_actors", "currently running actors", float64(s.LiveActors))
+	fmt.Fprintf(&b, "# HELP seatwin_processing_seconds vessel-actor message processing time\n")
+	fmt.Fprintf(&b, "# TYPE seatwin_processing_seconds summary\n")
+	for _, q := range []struct {
+		label string
+		v     time.Duration
+	}{{"0.5", s.Latency.P50}, {"0.95", s.Latency.P95}, {"0.99", s.Latency.P99}} {
+		fmt.Fprintf(&b, "seatwin_processing_seconds{quantile=%q} %g\n", q.label, q.v.Seconds())
+	}
+	fmt.Fprintf(&b, "seatwin_processing_seconds_count %d\n", s.Latency.Count)
+	w.Write([]byte(b.String()))
+}
+
+func (a *API) handleSeries(w http.ResponseWriter, _ *http.Request) {
+	type sampleJSON struct {
+		Actors int64 `json:"actors"`
+		AvgUS  int64 `json:"avg_processing_us"`
+	}
+	series := a.p.Series()
+	out := make([]sampleJSON, 0, len(series))
+	for _, s := range series {
+		out = append(out, sampleJSON{Actors: s.Actors, AvgUS: s.AvgProcess.Microseconds()})
+	}
+	writeJSON(w, out)
+}

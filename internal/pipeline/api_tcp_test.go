@@ -1,0 +1,98 @@
+package pipeline
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"seatwin/internal/geo"
+)
+
+// TestAPIOverTCP exercises the real listener path (ListenAndServe /
+// Addr / Close) rather than httptest.
+func TestAPIOverTCP(t *testing.T) {
+	p := newTestPipeline(t)
+	feedTrack(p, 940000001, geo.Point{Lat: 37.5, Lon: 24.5}, 90, 12, 3, 30*time.Second, t0)
+	p.Drain(5 * time.Second)
+
+	api := NewAPI(p)
+	errCh := make(chan error, 1)
+	go func() { errCh <- api.ListenAndServe("127.0.0.1:0") }()
+	defer api.Close()
+
+	// Wait for the listener to bind.
+	deadline := time.Now().Add(5 * time.Second)
+	for api.Addr() == nil {
+		select {
+		case err := <-errCh:
+			t.Fatalf("serve failed: %v", err)
+		default:
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("listener never bound")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	base := fmt.Sprintf("http://%s", api.Addr())
+	resp, err := http.Get(base + "/api/vessels/940000001")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	var doc map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc["mmsi"] != "940000001" {
+		t.Fatalf("doc: %v", doc)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("content type %q", ct)
+	}
+
+	// Close stops the server; ListenAndServe returns.
+	api.Close()
+	select {
+	case <-errCh:
+	case <-time.After(5 * time.Second):
+		t.Fatal("serve did not return after Close")
+	}
+}
+
+func TestMetricsEndpoint(t *testing.T) {
+	p := newTestPipeline(t)
+	feedTrack(p, 941000001, geo.Point{Lat: 37.5, Lon: 24.5}, 90, 12, 3, 30*time.Second, t0)
+	p.Drain(5 * time.Second)
+	api := NewAPI(p)
+	rec := newMetricsRecorder(api)
+	body := rec.Body.String()
+	for _, want := range []string{
+		"seatwin_messages_total 3",
+		"seatwin_forecasts_total",
+		"seatwin_live_actors",
+		`seatwin_processing_seconds{quantile="0.99"}`,
+		"seatwin_processing_seconds_count 3",
+		"# TYPE seatwin_messages_total counter",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("metrics missing %q:\n%s", want, body)
+		}
+	}
+	if ct := rec.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("content type %q", ct)
+	}
+}
+
+func newMetricsRecorder(api *API) *httptest.ResponseRecorder {
+	rec := httptest.NewRecorder()
+	api.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	return rec
+}

@@ -1,0 +1,67 @@
+package pipeline
+
+import (
+	"testing"
+	"time"
+
+	"seatwin/internal/events"
+)
+
+// TestFigure6MiniRun streams a small global fleet through the full
+// pipeline via the broker and checks the Figure 6 properties: the
+// series covers a growing actor population, the steady-state moving
+// average stays at a sane magnitude, and nothing is lost.
+func TestFigure6MiniRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration run, skipped in short mode")
+	}
+	p, err := New(DefaultConfig(events.NewKinematicForecaster()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Shutdown(5 * time.Second)
+
+	cfg := ScalabilityConfig{
+		Vessels:    2000,
+		Messages:   60000,
+		Seed:       7,
+		Consumers:  4,
+		Partitions: 8,
+	}
+	res, err := RunScalability(p, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Ingested != cfg.Messages {
+		t.Fatalf("ingested %d of %d", res.Ingested, cfg.Messages)
+	}
+	if res.Stats.Messages != int64(cfg.Messages) {
+		t.Fatalf("pipeline counted %d messages", res.Stats.Messages)
+	}
+	if len(res.Series) < 10 {
+		t.Fatalf("series has %d samples", len(res.Series))
+	}
+	// Actor count grows as unseen vessels appear.
+	first, last := res.Series[0], res.Series[len(res.Series)-1]
+	if last.Actors <= first.Actors {
+		t.Fatalf("actor count did not grow: %d -> %d", first.Actors, last.Actors)
+	}
+	if last.Actors < 1000 {
+		t.Fatalf("too few live actors at the end: %d", last.Actors)
+	}
+	// Steady-state processing stays in the sub-millisecond regime for
+	// the kinematic forecaster (the paper reports "less than a few
+	// milliseconds" with the BiLSTM on its hardware).
+	if last.AvgProcess > 20*time.Millisecond {
+		t.Fatalf("steady-state processing %v", last.AvgProcess)
+	}
+	// All samples sane.
+	for _, s := range res.Series {
+		if s.AvgProcess < 0 || s.Actors <= 0 {
+			t.Fatalf("bad sample %+v", s)
+		}
+	}
+	if res.Stats.Forecasts == 0 {
+		t.Fatal("no forecasts generated")
+	}
+}

@@ -1,0 +1,101 @@
+package pipeline
+
+import (
+	"testing"
+	"time"
+
+	"seatwin/internal/ais"
+	"seatwin/internal/fleetsim"
+	"seatwin/internal/geo"
+)
+
+func TestIngestNMEAWirePath(t *testing.T) {
+	p := newTestPipeline(t)
+	world := fleetsim.NewWorld(fleetsim.Config{
+		Vessels: 20, Seed: 9, Region: geo.AegeanSea, KeepSailing: true,
+	})
+	feed := fleetsim.NewWireFeed(world)
+	lines := 0
+	for lines < 2000 {
+		wl, ok := feed.Next()
+		if !ok {
+			t.Fatal("feed dried up")
+		}
+		if err := p.IngestNMEA(wl.Line, wl.At); err != nil {
+			t.Fatalf("line %d: %v", lines, err)
+		}
+		lines++
+	}
+	p.Drain(10 * time.Second)
+
+	s := p.Stats()
+	if s.Messages == 0 {
+		t.Fatal("no position reports ingested from the wire")
+	}
+	if s.Forecasts == 0 {
+		t.Fatal("no forecasts from wire-fed reports")
+	}
+	if p.BadSentences() != 0 {
+		t.Fatalf("%d valid sentences were rejected", p.BadSentences())
+	}
+	// Static data flowed through too: some vessel state must carry a
+	// name joined from the type 5 cache.
+	named := 0
+	members, _ := p.Store().ZRangeByScore("vessels:active", 0, 1e18)
+	for _, m := range members {
+		h, _ := p.Store().HGetAll("vessel:" + m.Member)
+		if h["name"] != "" {
+			named++
+		}
+	}
+	if named == 0 {
+		t.Fatal("no vessel state joined with static info from the wire")
+	}
+}
+
+func TestIngestNMEARejectsGarbage(t *testing.T) {
+	p := newTestPipeline(t)
+	bad := []string{
+		"",
+		"hello world",
+		"!AIVDM,1,1,,A,corrupted,0*00",
+		"$GPGGA,123519,4807.038,N*47",
+	}
+	for _, line := range bad {
+		if err := p.IngestNMEA(line, time.Now()); err == nil {
+			t.Errorf("accepted %q", line)
+		}
+	}
+	if p.BadSentences() != int64(len(bad)) {
+		t.Fatalf("bad counter %d, want %d", p.BadSentences(), len(bad))
+	}
+	if s := p.Stats(); s.Messages != 0 {
+		t.Fatal("garbage produced messages")
+	}
+}
+
+func TestIngestNMEAMultiFragmentStatic(t *testing.T) {
+	p := newTestPipeline(t)
+	sv := ais.StaticVoyage{
+		MMSI: 239777000, Name: "WIRE FRAGMENT TEST", ShipType: ais.TypeTanker,
+		DimBow: 100, DimStern: 50, DimPort: 15, DimStarb: 15, Draught: 12.1,
+	}
+	lines, err := ais.Marshal(sv, "A", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(lines) < 2 {
+		t.Fatal("type 5 should fragment")
+	}
+	now := time.Now()
+	for _, l := range lines {
+		if err := p.IngestNMEA(l, now); err != nil {
+			t.Fatal(err)
+		}
+	}
+	p.Drain(2 * time.Second)
+	got, ok := p.Static(239777000)
+	if !ok || got.Name != "WIRE FRAGMENT TEST" {
+		t.Fatalf("static cache after fragments: %+v ok=%v", got, ok)
+	}
+}

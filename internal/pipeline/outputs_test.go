@@ -1,0 +1,77 @@
+package pipeline
+
+import (
+	"testing"
+	"time"
+
+	"seatwin/internal/broker"
+	"seatwin/internal/events"
+	"seatwin/internal/geo"
+)
+
+// TestOutputTopics verifies the §7 output-streams extension: writer
+// actors produce vessel states and events onto dedicated broker topics
+// that external consumers can subscribe to.
+func TestOutputTopics(t *testing.T) {
+	out := broker.New()
+	cfg := DefaultConfig(events.NewKinematicForecaster())
+	cfg.OutputBroker = out
+	p, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Shutdown(2 * time.Second)
+
+	// External consumers subscribe before traffic flows.
+	states, err := out.Subscribe("seatwin-states", "external")
+	if err != nil {
+		t.Fatal(err)
+	}
+	evs, err := out.Subscribe("seatwin-events", "external")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// A proximity pair produces both states and events.
+	base := geo.Point{Lat: 37.5, Lon: 24.5}
+	feedTrack(p, 950000001, base, 0, 8, 3, 30*time.Second, t0)
+	feedTrack(p, 950000002, geo.Destination(base, 90, 200), 0, 8, 3, 30*time.Second, t0.Add(3*time.Second))
+	p.Drain(5 * time.Second)
+
+	recs := states.Poll(100, 2*time.Second)
+	if len(recs) < 6 {
+		t.Fatalf("states topic received %d records, want >= 6", len(recs))
+	}
+	so, ok := recs[0].Value.(StateOutput)
+	if !ok {
+		t.Fatalf("state record is %T", recs[0].Value)
+	}
+	if !so.Report.MMSI.Valid() || len(so.Forecast) == 0 {
+		t.Fatalf("state output incomplete: %+v", so)
+	}
+	// Keyed by MMSI: every record for one vessel lands on one partition.
+	partitionsSeen := map[string]map[int]bool{}
+	for _, r := range recs {
+		if partitionsSeen[r.Key] == nil {
+			partitionsSeen[r.Key] = map[int]bool{}
+		}
+		partitionsSeen[r.Key][r.Partition] = true
+	}
+	for key, parts := range partitionsSeen {
+		if len(parts) != 1 {
+			t.Fatalf("vessel %s spread over %d partitions", key, len(parts))
+		}
+	}
+
+	erecs := evs.Poll(100, 2*time.Second)
+	if len(erecs) == 0 {
+		t.Fatal("events topic received nothing")
+	}
+	ev, ok := erecs[0].Value.(events.Event)
+	if !ok {
+		t.Fatalf("event record is %T", erecs[0].Value)
+	}
+	if ev.Kind == "" || ev.A == 0 {
+		t.Fatalf("event incomplete: %+v", ev)
+	}
+}

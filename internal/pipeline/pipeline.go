@@ -1,0 +1,471 @@
+// Package pipeline wires the paper's Figure 2 architecture: streaming
+// AIS records are consumed from the embedded broker by ingestion
+// workers and routed to one vessel actor per MMSI; vessel actors hold
+// per-vessel history, run the shared S-VRF model, detect AIS
+// switch-offs and fan their positions and forecasts out to cell actors
+// (close-proximity detection, grid size M) and collision actors
+// (collision forecasting, grid size K) keyed by hexgrid cell; all actor
+// outputs flow to writer actors that persist state into the kvstore
+// middleware, from which the HTTP API serves the UI.
+package pipeline
+
+import (
+	"fmt"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"seatwin/internal/actor"
+	"seatwin/internal/ais"
+	"seatwin/internal/broker"
+	"seatwin/internal/congestion"
+	"seatwin/internal/events"
+	"seatwin/internal/hexgrid"
+	"seatwin/internal/kvstore"
+	"seatwin/internal/lvrf"
+	"seatwin/internal/metrics"
+)
+
+// Config assembles a Pipeline.
+type Config struct {
+	// Forecaster is the route forecasting model shared by all vessel
+	// actors (the paper mounts one S-VRF instance per process). It must
+	// be safe for concurrent use.
+	Forecaster events.TrackForecaster
+	// ProximityResolution is the hexgrid resolution of the cell actors
+	// (grid "M" in §3); CollisionResolution that of the collision
+	// actors ("K").
+	ProximityResolution int
+	CollisionResolution int
+	// Collision, Proximity and SwitchOff parameterise the detectors.
+	Collision events.CollisionConfig
+	Proximity events.ProximityConfig
+	SwitchOff events.SwitchOffConfig
+	// HistoryLimit bounds the reports retained per vessel actor; it
+	// must cover the model's input requirement with margin.
+	HistoryLimit int
+	// Writers is the number of writer actors (the paper runs one but
+	// supports several).
+	Writers int
+	// Store receives the persisted actor states; nil creates one.
+	Store *kvstore.Store
+	// MetricsWindow is the moving-average window of the scalability
+	// series (100 in Figure 6).
+	MetricsWindow int
+	// DisableEventFanout turns off proximity/collision sharing (used by
+	// ablation benches to isolate forecasting cost).
+	DisableEventFanout bool
+	// Ports, when non-empty, enables port-congestion monitoring and
+	// prediction over the vessel positions and forecasts (§7 extension;
+	// see internal/congestion).
+	Ports []congestion.Port
+	// CellIdleTimeout passivates cell and collision actors that have
+	// received no traffic for this long, bounding the actor population
+	// to the active sea areas (0 = 5 minutes; negative = never).
+	CellIdleTimeout time.Duration
+	// RouteModel, when non-nil, serves long-term route forecasts and
+	// Patterns of Life over the API (§4.1's L-VRF, integrated "through
+	// API calls" per the paper).
+	RouteModel *lvrf.Model
+	// OutputBroker, when non-nil, receives dedicated output streams —
+	// the §7 plan to "leverage Kafka topics to produce streams of
+	// dedicated system, model and actor-based outputs": the writer
+	// actors produce every event to OutputEventsTopic and every vessel
+	// state/forecast to OutputStatesTopic (keyed by MMSI), for external
+	// consumers to subscribe to.
+	OutputBroker      *broker.Broker
+	OutputEventsTopic string
+	OutputStatesTopic string
+}
+
+// DefaultConfig returns the paper's deployment shape.
+func DefaultConfig(fc events.TrackForecaster) Config {
+	return Config{
+		Forecaster:          fc,
+		ProximityResolution: 9, // ~1.1 km cells for 500 m proximity
+		CollisionResolution: 7, // ~4.5 km cells for 30-minute forecasts
+		Collision:           events.DefaultCollisionConfig(),
+		Proximity:           events.DefaultProximityConfig(),
+		SwitchOff:           events.DefaultSwitchOffConfig(),
+		HistoryLimit:        48,
+		Writers:             1,
+		MetricsWindow:       100,
+	}
+}
+
+// Sample is one point of the Figure 6 series: the moving-window mean
+// processing time at a given population. Vessels counts the distinct
+// MMSIs seen (the paper's x-axis); Actors the total live actors
+// including cell, collision and writer actors.
+type Sample struct {
+	Vessels    int64
+	Actors     int64
+	AvgProcess time.Duration
+}
+
+// Pipeline is a running instance of the system.
+type Pipeline struct {
+	cfg    Config
+	system *actor.System
+	store  *kvstore.Store
+	log    *events.Log
+
+	writers []*actor.PID
+
+	statics sync.Map // ais.MMSI -> ais.StaticVoyage, the shared cache
+
+	latency       *metrics.LatencyRecorder
+	procMu        sync.Mutex
+	movingAvg     *metrics.MovingAverage
+	series        []Sample
+	sampleCounter int64
+	sampleGap     int64
+
+	messages     int64
+	forecasts    int64
+	badSentences int64
+	vessels      int64 // distinct vessel actors spawned (paper's x-axis)
+	closed       int32
+
+	// assembler reassembles multi-fragment AIVDM input for IngestNMEA.
+	assembler *ais.Assembler
+
+	// Cross-cell deduplication of pairwise events: several collision
+	// actors can detect the same pair in the same pass.
+	pairMu   sync.Mutex
+	pairSeen map[string]time.Time
+
+	// congestion is non-nil when Config.Ports was set.
+	congestion *congestion.Monitor
+}
+
+// Congestion returns the port-congestion monitor, or nil when port
+// monitoring is not configured.
+func (p *Pipeline) Congestion() *congestion.Monitor { return p.congestion }
+
+// shouldEmitPair reports whether a pairwise event may be emitted, and
+// records it; repeats within the window are suppressed system-wide.
+func (p *Pipeline) shouldEmitPair(key string, at time.Time, window time.Duration) bool {
+	p.pairMu.Lock()
+	defer p.pairMu.Unlock()
+	if last, ok := p.pairSeen[key]; ok && at.Sub(last) < window {
+		return false
+	}
+	// Opportunistic cleanup keeps the map bounded.
+	if len(p.pairSeen) > 1<<16 {
+		for k, t := range p.pairSeen {
+			if at.Sub(t) > window {
+				delete(p.pairSeen, k)
+			}
+		}
+	}
+	p.pairSeen[key] = at
+	return true
+}
+
+// New builds and starts the actor topology (writers only; vessel and
+// cell actors materialise on first contact).
+func New(cfg Config) (*Pipeline, error) {
+	if cfg.Forecaster == nil {
+		return nil, fmt.Errorf("pipeline: a forecaster is required")
+	}
+	if cfg.HistoryLimit < 24 {
+		cfg.HistoryLimit = 48
+	}
+	if cfg.Writers <= 0 {
+		cfg.Writers = 1
+	}
+	if cfg.MetricsWindow <= 0 {
+		cfg.MetricsWindow = 100
+	}
+	store := cfg.Store
+	if store == nil {
+		store = kvstore.New()
+	}
+	p := &Pipeline{
+		cfg:       cfg,
+		system:    actor.NewSystem("seatwin"),
+		store:     store,
+		log:       events.NewLog(1 << 14),
+		latency:   metrics.NewLatencyRecorder(1 << 15),
+		movingAvg: metrics.NewMovingAverage(cfg.MetricsWindow),
+		sampleGap: 500,
+		pairSeen:  make(map[string]time.Time),
+		assembler: ais.NewAssembler(),
+	}
+	if len(cfg.Ports) > 0 {
+		p.congestion = congestion.NewMonitor(cfg.Ports, 0)
+	}
+	if cfg.OutputBroker != nil {
+		if p.cfg.OutputEventsTopic == "" {
+			p.cfg.OutputEventsTopic = "seatwin-events"
+		}
+		if p.cfg.OutputStatesTopic == "" {
+			p.cfg.OutputStatesTopic = "seatwin-states"
+		}
+		if err := cfg.OutputBroker.CreateTopic(p.cfg.OutputEventsTopic, 4); err != nil {
+			return nil, err
+		}
+		if err := cfg.OutputBroker.CreateTopic(p.cfg.OutputStatesTopic, 4); err != nil {
+			return nil, err
+		}
+	}
+	for i := 0; i < cfg.Writers; i++ {
+		pid, err := p.system.SpawnNamed(
+			actor.PropsFromProducer(func() actor.Actor { return &writerActor{p: p} }),
+			"writer-"+strconv.Itoa(i))
+		if err != nil {
+			return nil, err
+		}
+		p.writers = append(p.writers, pid)
+	}
+	return p, nil
+}
+
+// System exposes the actor system (introspection and tests).
+func (p *Pipeline) System() *actor.System { return p.system }
+
+// Store exposes the middleware state store.
+func (p *Pipeline) Store() *kvstore.Store { return p.store }
+
+// EventLog exposes the in-memory event list (the UI's Figure 4f feed).
+func (p *Pipeline) EventLog() *events.Log { return p.log }
+
+// writerFor deterministically assigns an output source to one writer.
+func (p *Pipeline) writerFor(mmsi ais.MMSI) *actor.PID {
+	return p.writers[int(uint32(mmsi))%len(p.writers)]
+}
+
+// Ingest routes one decoded AIS message into the pipeline: the entry
+// point used by broker consumers and direct feeds alike.
+func (p *Pipeline) Ingest(msg ais.Message, receivedAt time.Time) {
+	if atomic.LoadInt32(&p.closed) == 1 {
+		return
+	}
+	switch m := msg.(type) {
+	case ais.StaticVoyage:
+		// Static info is cached in shared memory at ingestion, available
+		// to every actor without a message round-trip (§3). Class B
+		// type 24 messages arrive as partial documents (part A: name;
+		// part B: dimensions), so new fields merge into the cache.
+		if prev, ok := p.statics.Load(m.MMSI); ok {
+			m = mergeStatic(prev.(ais.StaticVoyage), m)
+		}
+		p.statics.Store(m.MMSI, m)
+		p.system.Send(p.vesselActor(m.MMSI), m)
+	case ais.PositionReport:
+		atomic.AddInt64(&p.messages, 1)
+		p.system.Send(p.vesselActor(m.MMSI), posMsg{report: m, receivedAt: receivedAt})
+	}
+}
+
+// mergeStatic folds a possibly-partial static document (a type 24
+// part) into the previously cached one: non-zero incoming fields win.
+func mergeStatic(prev, next ais.StaticVoyage) ais.StaticVoyage {
+	out := prev
+	if next.Name != "" {
+		out.Name = next.Name
+	}
+	if next.Callsign != "" {
+		out.Callsign = next.Callsign
+	}
+	if next.IMO != 0 {
+		out.IMO = next.IMO
+	}
+	if next.ShipType != 0 {
+		out.ShipType = next.ShipType
+	}
+	if next.DimBow != 0 || next.DimStern != 0 {
+		out.DimBow, out.DimStern = next.DimBow, next.DimStern
+	}
+	if next.DimPort != 0 || next.DimStarb != 0 {
+		out.DimPort, out.DimStarb = next.DimPort, next.DimStarb
+	}
+	if next.Draught != 0 {
+		out.Draught = next.Draught
+	}
+	if next.Destination != "" {
+		out.Destination = next.Destination
+	}
+	return out
+}
+
+// IngestNMEA routes one raw AIVDM sentence into the pipeline,
+// assembling multi-fragment messages internally. Invalid sentences are
+// counted and dropped (a live receiver feed always carries corrupt
+// lines). It returns an error only for malformed input, which callers
+// may ignore for lossy feeds.
+func (p *Pipeline) IngestNMEA(line string, receivedAt time.Time) error {
+	s, err := ais.ParseSentence(line)
+	if err != nil {
+		atomic.AddInt64(&p.badSentences, 1)
+		return err
+	}
+	msg, err := p.assembler.Push(s, receivedAt)
+	if err != nil {
+		atomic.AddInt64(&p.badSentences, 1)
+		return err
+	}
+	if msg != nil {
+		p.Ingest(msg, receivedAt)
+	}
+	return nil
+}
+
+// BadSentences returns how many undecodable NMEA lines were dropped.
+func (p *Pipeline) BadSentences() int64 { return atomic.LoadInt64(&p.badSentences) }
+
+// vesselActor returns (spawning on first contact) the actor of a MMSI.
+func (p *Pipeline) vesselActor(mmsi ais.MMSI) *actor.PID {
+	name := "v-" + strconv.FormatUint(uint64(mmsi), 10)
+	pid, spawned := p.system.GetOrSpawn(name, actor.PropsFromProducer(func() actor.Actor {
+		return newVesselActor(p, mmsi)
+	}))
+	if spawned {
+		atomic.AddInt64(&p.vessels, 1)
+	}
+	return pid
+}
+
+// idleTimeout resolves the cell-passivation setting.
+func (p *Pipeline) idleTimeout() time.Duration {
+	switch {
+	case p.cfg.CellIdleTimeout < 0:
+		return 0 // never passivate
+	case p.cfg.CellIdleTimeout == 0:
+		return 5 * time.Minute
+	default:
+		return p.cfg.CellIdleTimeout
+	}
+}
+
+// proximityActor returns the cell actor of a proximity cell.
+func (p *Pipeline) proximityActor(cell hexgrid.Cell) *actor.PID {
+	name := "px-" + strconv.FormatUint(uint64(cell), 16)
+	pid, _ := p.system.GetOrSpawn(name, actor.PropsFromProducer(func() actor.Actor {
+		return &cellActor{
+			p:          p,
+			detector:   events.NewProximityDetector(p.cfg.Proximity),
+			passivator: newPassivator(p.idleTimeout()),
+		}
+	}))
+	return pid
+}
+
+// collisionActor returns the collision actor of a collision cell.
+func (p *Pipeline) collisionActor(cell hexgrid.Cell) *actor.PID {
+	name := "cx-" + strconv.FormatUint(uint64(cell), 16)
+	pid, _ := p.system.GetOrSpawn(name, actor.PropsFromProducer(func() actor.Actor {
+		return &collisionActor{
+			p:          p,
+			detector:   events.NewDetector(p.cfg.Collision, 10*time.Minute),
+			passivator: newPassivator(p.idleTimeout()),
+		}
+	}))
+	return pid
+}
+
+// Static returns the cached static voyage data of a vessel.
+func (p *Pipeline) Static(mmsi ais.MMSI) (ais.StaticVoyage, bool) {
+	v, ok := p.statics.Load(mmsi)
+	if !ok {
+		return ais.StaticVoyage{}, false
+	}
+	return v.(ais.StaticVoyage), true
+}
+
+// observeProcessing records one vessel-actor processing duration and
+// extends the Figure 6 series.
+func (p *Pipeline) observeProcessing(d time.Duration) {
+	p.latency.Observe(d)
+	p.procMu.Lock()
+	avg := p.movingAvg.Add(float64(d))
+	p.sampleCounter++
+	if p.sampleCounter%p.sampleGap == 0 {
+		p.series = append(p.series, Sample{
+			Vessels:    atomic.LoadInt64(&p.vessels),
+			Actors:     p.system.LiveActors(),
+			AvgProcess: time.Duration(avg),
+		})
+	}
+	p.procMu.Unlock()
+}
+
+// Stats summarises a running pipeline.
+type Stats struct {
+	Messages   int64
+	Forecasts  int64
+	LiveActors int64
+	Latency    metrics.Snapshot
+	Events     int64
+	DeadLetter uint64
+}
+
+// Stats snapshots the pipeline counters.
+func (p *Pipeline) Stats() Stats {
+	return Stats{
+		Messages:   atomic.LoadInt64(&p.messages),
+		Forecasts:  atomic.LoadInt64(&p.forecasts),
+		LiveActors: p.system.LiveActors(),
+		Latency:    p.latency.Snapshot(),
+		Events:     p.log.Total(),
+		DeadLetter: p.system.StatsSnapshot().DeadLetters,
+	}
+}
+
+// Series returns the Figure 6 samples gathered so far.
+func (p *Pipeline) Series() []Sample {
+	p.procMu.Lock()
+	defer p.procMu.Unlock()
+	out := make([]Sample, len(p.series))
+	copy(out, p.series)
+	return out
+}
+
+// ConsumeLoop drains a broker consumer into the pipeline until the
+// consumer closes or the pipeline shuts down. Records must carry
+// ais.Message values.
+func (p *Pipeline) ConsumeLoop(c *broker.Consumer, pollWait time.Duration) int {
+	n := 0
+	for atomic.LoadInt32(&p.closed) == 0 {
+		recs := c.Poll(512, pollWait)
+		if recs == nil {
+			return n
+		}
+		for _, r := range recs {
+			if msg, ok := r.Value.(ais.Message); ok {
+				p.Ingest(msg, r.Timestamp)
+				n++
+			}
+		}
+		c.Commit()
+	}
+	return n
+}
+
+// Drain waits until the actor system has processed everything enqueued
+// so far (approximately: message counters stop moving), up to timeout.
+func (p *Pipeline) Drain(timeout time.Duration) {
+	deadline := time.Now().Add(timeout)
+	var last uint64
+	for time.Now().Before(deadline) {
+		cur := p.system.StatsSnapshot().MessagesProcessed
+		if cur == last && cur > 0 {
+			return
+		}
+		last = cur
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// Shutdown stops the actor system.
+func (p *Pipeline) Shutdown(timeout time.Duration) {
+	if !atomic.CompareAndSwapInt32(&p.closed, 0, 1) {
+		return
+	}
+	p.system.Shutdown(timeout)
+	if p.cfg.Store == nil {
+		p.store.Close()
+	}
+}

@@ -1,0 +1,92 @@
+package pipeline
+
+import (
+	"encoding/json"
+	"math/rand"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"seatwin/internal/events"
+	"seatwin/internal/geo"
+	"seatwin/internal/lvrf"
+)
+
+// routeTestModel trains a tiny L-VRF model on synthetic lane trips.
+func routeTestModel(t *testing.T) *lvrf.Model {
+	t.Helper()
+	ports := map[string]geo.Point{
+		"Piraeus":   {Lat: 37.925, Lon: 23.600},
+		"Heraklion": {Lat: 35.355, Lon: 25.145},
+	}
+	rng := rand.New(rand.NewSource(1))
+	var trips []lvrf.Trip
+	for i := 0; i < 10; i++ {
+		trip := lvrf.Trip{
+			MMSI:     uint32(100 + i),
+			Features: lvrf.Features{ShipType: 70, Length: 190, Draught: 10},
+			Origin:   "Piraeus", Dest: "Heraklion",
+		}
+		const steps = 25
+		for s := 0; s <= steps; s++ {
+			f := float64(s) / steps
+			p := geo.Interpolate(ports["Piraeus"], ports["Heraklion"], f)
+			p = geo.Destination(p, 90, rng.NormFloat64()*800)
+			trip.Points = append(trip.Points, p)
+			trip.Times = append(trip.Times, t0.Add(time.Duration(f*14*3600)*time.Second))
+		}
+		trips = append(trips, trip)
+	}
+	return lvrf.Train(trips, ports, lvrf.DefaultConfig())
+}
+
+func TestRouteAPI(t *testing.T) {
+	cfg := DefaultConfig(events.NewKinematicForecaster())
+	cfg.RouteModel = routeTestModel(t)
+	p, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Shutdown(2 * time.Second)
+	api := NewAPI(p)
+
+	get := func(path string) *httptest.ResponseRecorder {
+		rec := httptest.NewRecorder()
+		api.Handler().ServeHTTP(rec, httptest.NewRequest("GET", path, nil))
+		return rec
+	}
+
+	rec := get("/api/route?from=Piraeus&to=Heraklion&type=70&length=190&draught=10.5")
+	if rec.Code != 200 {
+		t.Fatalf("status %d: %s", rec.Code, rec.Body)
+	}
+	var doc map[string]any
+	if err := json.Unmarshal(rec.Body.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	route, ok := doc["route"].([]any)
+	if !ok || len(route) < 10 {
+		t.Fatalf("route: %v", doc["route"])
+	}
+	pol, ok := doc["patterns_of_life"].(map[string]any)
+	if !ok || pol["trips"].(float64) != 10 {
+		t.Fatalf("patterns_of_life: %v", doc["patterns_of_life"])
+	}
+
+	if rec := get("/api/route?from=Piraeus"); rec.Code != 400 {
+		t.Fatalf("missing 'to' must 400, got %d", rec.Code)
+	}
+	if rec := get("/api/route?from=Narnia&to=Atlantis"); rec.Code != 404 {
+		t.Fatalf("unknown pair must 404, got %d", rec.Code)
+	}
+}
+
+func TestRouteAPIWithoutModel(t *testing.T) {
+	p := newTestPipeline(t)
+	api := NewAPI(p)
+	rec := httptest.NewRecorder()
+	api.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/api/route?from=A&to=B", nil))
+	if rec.Code != 404 {
+		t.Fatalf("unconfigured model must 404, got %d", rec.Code)
+	}
+}

@@ -1,0 +1,228 @@
+// Package svrf implements the paper's Short-term Vessel Route
+// Forecasting model (§4.2, Figure 3): a BiLSTM over the last 20
+// spatiotemporal displacements of a vessel followed by a fully
+// connected layer emitting six (Δlat, Δlon) transitions at 5-minute
+// intervals up to a 30-minute horizon, with L1 in-layer regularisation —
+// plus the linear kinematic baseline the evaluation compares against
+// (Table 1).
+//
+// A single trained Model is safe for concurrent forecasting and is
+// intended to be mounted once per process and shared by every vessel
+// actor, as the paper's integration does.
+package svrf
+
+import (
+	"io"
+	"time"
+
+	"seatwin/internal/ais"
+	"seatwin/internal/geo"
+	"seatwin/internal/metrics"
+	"seatwin/internal/nn"
+	"seatwin/internal/traj"
+)
+
+// Predictor forecasts a vessel's future positions from a preprocessed
+// trajectory window.
+type Predictor interface {
+	// Name identifies the predictor in experiment output.
+	Name() string
+	// Forecast returns one position per horizon (6 positions spanning
+	// 5..30 minutes for the default configuration).
+	Forecast(w traj.Window) []geo.Point
+}
+
+// Kinematic is the linear baseline of §6.1: dead reckoning from the
+// last reported position, speed over ground and course over ground.
+type Kinematic struct {
+	Horizons    int
+	HorizonStep time.Duration
+}
+
+// NewKinematic returns the baseline with the paper's geometry.
+func NewKinematic() Kinematic {
+	return Kinematic{Horizons: 6, HorizonStep: 5 * time.Minute}
+}
+
+// Name implements Predictor.
+func (k Kinematic) Name() string { return "Linear Kinematic Model" }
+
+// Forecast implements Predictor.
+func (k Kinematic) Forecast(w traj.Window) []geo.Point {
+	out := make([]geo.Point, 0, k.Horizons)
+	sog, cog := w.LastSOG, w.LastCOG
+	if sog < 0 {
+		sog = 0
+	}
+	for h := 1; h <= k.Horizons; h++ {
+		dt := time.Duration(h) * k.HorizonStep
+		out = append(out, geo.DeadReckon(w.LastPos, sog, cog, dt.Seconds()))
+	}
+	return out
+}
+
+// Config shapes the S-VRF network. Defaults follow the paper's reduced
+// architecture: fixed 20-step input, BiLSTM, 6-transition output.
+type Config struct {
+	InputSteps  int
+	Hidden      int
+	Horizons    int
+	HorizonStep time.Duration
+	Downsample  time.Duration
+	// Bidirectional selects BiLSTM (the paper's final architecture)
+	// versus plain LSTM (its earlier iteration, kept for the ablation).
+	Bidirectional bool
+	L1            float64
+	Seed          int64
+}
+
+// DefaultConfig returns the Figure 3 architecture.
+func DefaultConfig() Config {
+	return Config{
+		InputSteps:    20,
+		Hidden:        32,
+		Horizons:      6,
+		HorizonStep:   5 * time.Minute,
+		Downsample:    30 * time.Second,
+		Bidirectional: true,
+		L1:            1e-5,
+		Seed:          1,
+	}
+}
+
+// Model is the trained S-VRF network.
+type Model struct {
+	cfg Config
+	net *nn.SeqRegressor
+}
+
+// New builds an untrained model.
+func New(cfg Config) (*Model, error) {
+	net, err := nn.NewSeqRegressor(nn.Config{
+		InputDim:      3,
+		Hidden:        cfg.Hidden,
+		OutputDim:     2 * cfg.Horizons,
+		Bidirectional: cfg.Bidirectional,
+		L1:            cfg.L1,
+		Seed:          cfg.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Model{cfg: cfg, net: net}, nil
+}
+
+// Name implements Predictor.
+func (m *Model) Name() string {
+	if m.cfg.Bidirectional {
+		return "S-VRF"
+	}
+	return "S-VRF (LSTM)"
+}
+
+// Config returns the model configuration.
+func (m *Model) Config() Config { return m.cfg }
+
+// Forecast implements Predictor.
+func (m *Model) Forecast(w traj.Window) []geo.Point {
+	out := m.net.Predict(w.Input)
+	return traj.PredictedPositions(w.LastPos, out)
+}
+
+// ForecastReports runs the live on-stream path: it converts the most
+// recent reports into the model input and forecasts from the anchor
+// (the last report that entered the input). It also returns the
+// anchor so callers can timestamp the forecast points correctly. ok is
+// false when the history is too short.
+func (m *Model) ForecastReports(reports []ais.PositionReport) (pts []geo.Point, anchor ais.PositionReport, ok bool) {
+	input, anchor, ok := traj.InputFromReports(reports, m.cfg.InputSteps, m.cfg.Downsample)
+	if !ok {
+		return nil, ais.PositionReport{}, false
+	}
+	out := m.net.Predict(input)
+	return traj.PredictedPositions(geo.Point{Lat: anchor.Lat, Lon: anchor.Lon}, out), anchor, true
+}
+
+// TrainOptions controls Train.
+type TrainOptions struct {
+	Epochs    int
+	BatchSize int
+	LR        float64
+	Workers   int
+	Seed      int64
+	// Progress receives per-epoch training loss; return false to stop.
+	Progress func(epoch int, loss float64) bool
+}
+
+// DefaultTrainOptions trains quickly at simulation scale.
+func DefaultTrainOptions() TrainOptions {
+	return TrainOptions{Epochs: 12, BatchSize: 64, LR: 2e-3, Workers: 0, Seed: 1}
+}
+
+// Train fits the network on preprocessed windows and returns the final
+// mean training loss.
+func (m *Model) Train(windows []traj.Window, opt TrainOptions) float64 {
+	samples := make([]nn.Sample, len(windows))
+	for i, w := range windows {
+		samples[i] = nn.Sample{Seq: w.Input, Target: w.Target}
+	}
+	return m.net.Fit(samples, nn.FitOptions{
+		Epochs:    opt.Epochs,
+		BatchSize: opt.BatchSize,
+		LR:        opt.LR,
+		Workers:   opt.Workers,
+		Seed:      opt.Seed,
+		Progress:  opt.Progress,
+	})
+}
+
+// ValidationMSE returns the network loss on held-out windows.
+func (m *Model) ValidationMSE(windows []traj.Window) float64 {
+	samples := make([]nn.Sample, len(windows))
+	for i, w := range windows {
+		samples[i] = nn.Sample{Seq: w.Input, Target: w.Target}
+	}
+	return m.net.MSE(samples)
+}
+
+// Save writes the model to w.
+func (m *Model) Save(w io.Writer) error { return m.net.Save(w) }
+
+// SaveFile writes the model to a file atomically.
+func (m *Model) SaveFile(path string) error { return m.net.SaveFile(path) }
+
+// Load reads a model saved by Save. The svrf Config geometry is
+// recovered from the embedded network configuration.
+func Load(r io.Reader, cfg Config) (*Model, error) {
+	net, err := nn.Load(r)
+	if err != nil {
+		return nil, err
+	}
+	return &Model{cfg: cfg, net: net}, nil
+}
+
+// LoadFile reads a model saved by SaveFile.
+func LoadFile(path string, cfg Config) (*Model, error) {
+	net, err := nn.LoadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return &Model{cfg: cfg, net: net}, nil
+}
+
+// EvaluateADE scores a predictor on test windows, returning per-horizon
+// average displacement error in meters — the Table 1 metric.
+func EvaluateADE(p Predictor, windows []traj.Window) *metrics.DisplacementError {
+	if len(windows) == 0 {
+		return metrics.NewDisplacementError(0)
+	}
+	horizons := len(windows[0].Truth)
+	de := metrics.NewDisplacementError(horizons)
+	for _, w := range windows {
+		pred := p.Forecast(w)
+		for h := 0; h < horizons && h < len(pred); h++ {
+			de.Add(h, geo.Haversine(pred[h], w.Truth[h]))
+		}
+	}
+	return de
+}

@@ -1,0 +1,153 @@
+package vtff
+
+import (
+	"seatwin/internal/hexgrid"
+)
+
+// DirectAR extends the direct strategy with a proper per-cell
+// autoregressive sequence model, the closest stdlib-only stand-in for
+// the learned sequence models the [17] comparison evaluates: for each
+// cell, an AR(p) model is fit by least squares over the cell's recent
+// window series and iterated forward per horizon. Cells with too little
+// history fall back to their mean.
+const arOrder = 3
+
+// fitAR solves the least-squares AR(p) coefficients for one series
+// (oldest first) via the normal equations; ok is false when the system
+// is singular or the series too short.
+func fitAR(series []float64, p int) (coef []float64, intercept float64, ok bool) {
+	n := len(series) - p
+	if n < p+2 {
+		return nil, 0, false
+	}
+	// Design matrix columns: lag 1..p plus intercept.
+	dim := p + 1
+	ata := make([]float64, dim*dim)
+	atb := make([]float64, dim)
+	for row := 0; row < n; row++ {
+		x := make([]float64, dim)
+		for lag := 1; lag <= p; lag++ {
+			x[lag-1] = series[p+row-lag]
+		}
+		x[p] = 1 // intercept
+		y := series[p+row]
+		for i := 0; i < dim; i++ {
+			for j := 0; j < dim; j++ {
+				ata[i*dim+j] += x[i] * x[j]
+			}
+			atb[i] += x[i] * y
+		}
+	}
+	// Ridge damping keeps near-singular systems solvable and shrinks
+	// coefficients toward persistence.
+	for i := 0; i < dim; i++ {
+		ata[i*dim+i] += 1e-6
+	}
+	sol, solved := solveLinear(ata, atb, dim)
+	if !solved {
+		return nil, 0, false
+	}
+	return sol[:p], sol[p], true
+}
+
+// solveLinear performs Gaussian elimination with partial pivoting.
+func solveLinear(a []float64, b []float64, n int) ([]float64, bool) {
+	m := make([]float64, len(a))
+	copy(m, a)
+	x := make([]float64, n)
+	copy(x, b)
+	for col := 0; col < n; col++ {
+		// Pivot.
+		pivot := col
+		for r := col + 1; r < n; r++ {
+			if abs(m[r*n+col]) > abs(m[pivot*n+col]) {
+				pivot = r
+			}
+		}
+		if abs(m[pivot*n+col]) < 1e-12 {
+			return nil, false
+		}
+		if pivot != col {
+			for c := 0; c < n; c++ {
+				m[pivot*n+c], m[col*n+c] = m[col*n+c], m[pivot*n+c]
+			}
+			x[pivot], x[col] = x[col], x[pivot]
+		}
+		inv := 1 / m[col*n+col]
+		for r := col + 1; r < n; r++ {
+			f := m[r*n+col] * inv
+			if f == 0 {
+				continue
+			}
+			for c := col; c < n; c++ {
+				m[r*n+c] -= f * m[col*n+c]
+			}
+			x[r] -= f * x[col]
+		}
+	}
+	for r := n - 1; r >= 0; r-- {
+		sum := x[r]
+		for c := r + 1; c < n; c++ {
+			sum -= m[r*n+c] * x[c]
+		}
+		x[r] = sum / m[r*n+r]
+	}
+	return x, true
+}
+
+func abs(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+// DirectARForecast forecasts future windows per cell with AR(3) models
+// fit on each cell's recent history. history maps window index ->
+// observed flow; series are assembled over [last-depth+1, last].
+func DirectARForecast(history map[int64]Flow, last int64, horizons, depth int) map[int64]Flow {
+	if depth < arOrder+3 {
+		depth = 12
+	}
+	// Union of cells active anywhere in the depth window.
+	cells := map[hexgrid.Cell]struct{}{}
+	for w := last - int64(depth) + 1; w <= last; w++ {
+		for c := range history[w] {
+			cells[c] = struct{}{}
+		}
+	}
+	// Per-cell series and forecast.
+	out := make(map[int64]Flow, horizons)
+	for h := 1; h <= horizons; h++ {
+		out[last+int64(h)] = make(Flow)
+	}
+	for c := range cells {
+		series := make([]float64, depth)
+		sum := 0.0
+		for i := 0; i < depth; i++ {
+			v := float64(history[last-int64(depth)+1+int64(i)][c])
+			series[i] = v
+			sum += v
+		}
+		coef, intercept, ok := fitAR(series, arOrder)
+		for h := 1; h <= horizons; h++ {
+			var pred float64
+			if ok {
+				pred = intercept
+				for lag := 1; lag <= arOrder; lag++ {
+					pred += coef[lag-1] * series[len(series)-lag]
+				}
+			} else {
+				pred = sum / float64(depth) // mean fallback
+			}
+			if pred < 0 {
+				pred = 0
+			}
+			series = append(series, pred)
+			if v := int(pred + 0.5); v > 0 {
+				out[last+int64(h)][c] = v
+			}
+		}
+	}
+	return out
+}

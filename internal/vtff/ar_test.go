@@ -1,0 +1,106 @@
+package vtff
+
+import (
+	"math"
+	"testing"
+
+	"seatwin/internal/geo"
+	"seatwin/internal/hexgrid"
+)
+
+func TestFitARRecoversKnownProcess(t *testing.T) {
+	// y_t = 0.6*y_{t-1} + 0.3*y_{t-2} + 2, started from known values.
+	series := []float64{5, 6}
+	for len(series) < 60 {
+		n := len(series)
+		series = append(series, 0.6*series[n-1]+0.3*series[n-2]+2)
+	}
+	coef, intercept, ok := fitAR(series, 2)
+	if !ok {
+		t.Fatal("fit failed")
+	}
+	if math.Abs(coef[0]-0.6) > 0.05 || math.Abs(coef[1]-0.3) > 0.05 {
+		t.Fatalf("coefficients %v", coef)
+	}
+	if math.Abs(intercept-2) > 0.5 {
+		t.Fatalf("intercept %f", intercept)
+	}
+}
+
+func TestFitARTooShort(t *testing.T) {
+	if _, _, ok := fitAR([]float64{1, 2, 3}, 3); ok {
+		t.Fatal("short series must not fit")
+	}
+}
+
+func TestSolveLinearIdentity(t *testing.T) {
+	a := []float64{1, 0, 0, 0, 1, 0, 0, 0, 1}
+	b := []float64{3, -2, 7}
+	x, ok := solveLinear(a, b, 3)
+	if !ok {
+		t.Fatal("identity must solve")
+	}
+	for i := range b {
+		if math.Abs(x[i]-b[i]) > 1e-12 {
+			t.Fatalf("x = %v", x)
+		}
+	}
+	// Singular system refused.
+	sing := []float64{1, 2, 2, 4}
+	if _, ok := solveLinear(sing, []float64{1, 2}, 2); ok {
+		t.Fatal("singular must fail")
+	}
+}
+
+func TestDirectARForecastTrend(t *testing.T) {
+	cell := hexgrid.LatLonToCell(geo.Point{Lat: 37.5, Lon: 24.5}, 7)
+	// Steadily growing traffic: 1, 2, 3, ... the AR model should
+	// extrapolate the trend where persistence would stay flat.
+	history := map[int64]Flow{}
+	for w := int64(1); w <= 12; w++ {
+		history[w] = Flow{cell: int(w)}
+	}
+	ar := DirectARForecast(history, 12, 3, 12)
+	persist := Direct(history, 12, 3, DirectPersistence)
+	if ar[13][cell] <= persist[13][cell] {
+		t.Fatalf("AR did not extrapolate the trend: ar=%d persist=%d",
+			ar[13][cell], persist[13][cell])
+	}
+	if ar[15][cell] < 13 || ar[15][cell] > 18 {
+		t.Fatalf("h=3 extrapolation %d implausible for trend 1..12", ar[15][cell])
+	}
+}
+
+func TestDirectARForecastConstantSeries(t *testing.T) {
+	cell := hexgrid.LatLonToCell(geo.Point{Lat: 38.5, Lon: 23.5}, 7)
+	history := map[int64]Flow{}
+	for w := int64(1); w <= 12; w++ {
+		history[w] = Flow{cell: 4}
+	}
+	ar := DirectARForecast(history, 12, 2, 12)
+	for h := int64(13); h <= 14; h++ {
+		if got := ar[h][cell]; got < 3 || got > 5 {
+			t.Fatalf("constant series forecast %d", got)
+		}
+	}
+}
+
+func TestDirectARForecastNeverNegative(t *testing.T) {
+	cell := hexgrid.LatLonToCell(geo.Point{Lat: 36.5, Lon: 26.5}, 7)
+	// Sharply decaying traffic.
+	history := map[int64]Flow{}
+	vals := []int{9, 7, 5, 4, 3, 2, 2, 1, 1, 0, 0, 0}
+	for i, v := range vals {
+		f := Flow{}
+		if v > 0 {
+			f[cell] = v
+		}
+		history[int64(i+1)] = f
+	}
+	ar := DirectARForecast(history, 12, 6, 12)
+	for h := int64(13); h <= 18; h++ {
+		if ar[h][cell] < 0 {
+			t.Fatalf("negative traffic at %d", h)
+		}
+	}
+}

@@ -1,0 +1,223 @@
+package vtff
+
+import (
+	"testing"
+	"time"
+
+	"seatwin/internal/ais"
+	"seatwin/internal/events"
+	"seatwin/internal/fleetsim"
+	"seatwin/internal/geo"
+	"seatwin/internal/hexgrid"
+)
+
+var t0 = time.Date(2023, 9, 18, 9, 0, 0, 0, time.UTC)
+
+func TestAccumulatorDeduplicatesPerWindow(t *testing.T) {
+	cfg := DefaultConfig()
+	acc := NewAccumulator(cfg)
+	p := geo.Point{Lat: 37.5, Lon: 24.5}
+	// Five reports from the same vessel in the same cell and window.
+	for i := 0; i < 5; i++ {
+		acc.Add(7, p, t0.Add(time.Duration(i)*30*time.Second))
+	}
+	w := cfg.WindowIndex(t0)
+	flow := acc.Window(w)
+	if flow.Total() != 1 {
+		t.Fatalf("deduplication failed: total %d", flow.Total())
+	}
+	// A second vessel in the same cell adds one.
+	acc.Add(8, p, t0)
+	if flow.Total() != 2 {
+		t.Fatalf("two vessels must count 2, got %d", flow.Total())
+	}
+	// The same vessel in the NEXT window counts again.
+	acc.Add(7, p, t0.Add(cfg.WindowStep))
+	if got := acc.Window(w + 1).Total(); got != 1 {
+		t.Fatalf("next window total %d", got)
+	}
+}
+
+func TestWindowIndexRoundTrip(t *testing.T) {
+	cfg := DefaultConfig()
+	w := cfg.WindowIndex(t0)
+	start := cfg.WindowStart(w)
+	if t0.Sub(start) < 0 || t0.Sub(start) >= cfg.WindowStep {
+		t.Fatalf("window start %v does not bracket %v", start, t0)
+	}
+	if cfg.WindowIndex(start) != w {
+		t.Fatal("window index not stable at window start")
+	}
+}
+
+func TestIndirectBinsForecastPoints(t *testing.T) {
+	cfg := DefaultConfig()
+	start := geo.Point{Lat: 37.5, Lon: 24.5}
+	f := events.Forecast{MMSI: 9}
+	for h := 0; h <= 6; h++ {
+		dt := time.Duration(h) * 5 * time.Minute
+		f.Points = append(f.Points, events.ForecastPoint{
+			Pos: geo.DeadReckon(start, 14, 90, dt.Seconds()),
+			At:  t0.Add(dt),
+		})
+	}
+	flows := Indirect([]events.Forecast{f}, cfg)
+	if len(flows) == 0 {
+		t.Fatal("no flows")
+	}
+	total := 0
+	for _, flow := range flows {
+		total += flow.Total()
+	}
+	// One vessel over 7 windows contributes at most 7 units (less if
+	// two points share a cell+window).
+	if total < 5 || total > 7 {
+		t.Fatalf("total contributions %d", total)
+	}
+	// The windows covered span the forecast horizon.
+	if len(flows) != 7 {
+		t.Fatalf("expected 7 windows (one per point), got %d", len(flows))
+	}
+}
+
+func TestDirectPersistence(t *testing.T) {
+	cellA := hexgrid.LatLonToCell(geo.Point{Lat: 37.5, Lon: 24.5}, 7)
+	cellB := hexgrid.LatLonToCell(geo.Point{Lat: 38.5, Lon: 23.5}, 7)
+	history := map[int64]Flow{
+		9: {cellA: 3, cellB: 1},
+	}
+	out := Direct(history, 9, 3, DirectPersistence)
+	if len(out) != 3 {
+		t.Fatalf("horizons %d", len(out))
+	}
+	for h := int64(10); h <= 12; h++ {
+		if out[h][cellA] != 3 || out[h][cellB] != 1 {
+			t.Fatalf("window %d: %v", h, out[h])
+		}
+	}
+}
+
+func TestDirectMovingAverage(t *testing.T) {
+	cell := hexgrid.LatLonToCell(geo.Point{Lat: 37.5, Lon: 24.5}, 7)
+	history := map[int64]Flow{
+		7: {cell: 2},
+		8: {cell: 4},
+		9: {cell: 6},
+	}
+	out := Direct(history, 9, 1, DirectMovingAverage)
+	if got := out[10][cell]; got != 4 {
+		t.Fatalf("moving average = %d, want 4", got)
+	}
+}
+
+func TestMAE(t *testing.T) {
+	cellA := hexgrid.LatLonToCell(geo.Point{Lat: 37.5, Lon: 24.5}, 7)
+	cellB := hexgrid.LatLonToCell(geo.Point{Lat: 38.5, Lon: 23.5}, 7)
+	pred := Flow{cellA: 3}
+	actual := Flow{cellA: 5, cellB: 2}
+	// Errors: |3-5| = 2, |0-2| = 2 over 2 cells = 2.
+	if got := MAE(pred, actual); got != 2 {
+		t.Fatalf("MAE = %f", got)
+	}
+	if MAE(nil, nil) != 0 {
+		t.Fatal("empty MAE must be 0")
+	}
+	if MAE(actual, actual) != 0 {
+		t.Fatal("identical flows must have MAE 0")
+	}
+}
+
+func TestHeatLevels(t *testing.T) {
+	cases := map[int]string{0: "none", 1: "low", 2: "low", 3: "medium", 5: "medium", 6: "high", 50: "high"}
+	for count, want := range cases {
+		if got := HeatLevel(count); got != want {
+			t.Errorf("HeatLevel(%d) = %q, want %q", count, got, want)
+		}
+	}
+}
+
+func TestFlowActiveCellsSortedAndPositive(t *testing.T) {
+	cellA := hexgrid.LatLonToCell(geo.Point{Lat: 37.5, Lon: 24.5}, 7)
+	cellB := hexgrid.LatLonToCell(geo.Point{Lat: 38.5, Lon: 23.5}, 7)
+	f := Flow{cellA: 1, cellB: 0}
+	active := f.ActiveCells()
+	if len(active) != 1 || active[0] != cellA {
+		t.Fatalf("active = %v", active)
+	}
+}
+
+// TestIndirectBeatsDirect reproduces the [17] comparison the paper
+// cites: on moving traffic, the indirect strategy (rasterised route
+// forecasts — even the kinematic baseline) must clearly beat direct
+// sequence extrapolation, because the direct strategy cannot move
+// traffic between cells.
+func TestIndirectBeatsDirect(t *testing.T) {
+	cfg := DefaultConfig()
+	ds := fleetsim.Record(geo.AegeanSea, 120, 3*time.Hour, 31)
+
+	// Split each track at a cut time: history before, actual after.
+	cut := ds.Start.Add(ds.Duration - 35*time.Minute)
+	lastWindow := cfg.WindowIndex(cut)
+
+	histAcc := NewAccumulator(cfg)
+	actAcc := NewAccumulator(cfg)
+	kin := events.NewKinematicForecaster()
+	var forecasts []events.Forecast
+	for _, tr := range ds.Tracks {
+		var hist []ais.PositionReport
+		for _, r := range tr.Reports {
+			p := geo.Point{Lat: r.Lat, Lon: r.Lon}
+			if r.Timestamp.Before(cut) {
+				histAcc.Add(r.MMSI, p, r.Timestamp)
+				hist = append(hist, r)
+			} else {
+				actAcc.Add(r.MMSI, p, r.Timestamp)
+			}
+		}
+		if f, ok := kin.ForecastTrack(hist); ok {
+			forecasts = append(forecasts, f)
+		}
+	}
+	history := make(map[int64]Flow)
+	actual := make(map[int64]Flow)
+	for _, w := range histAcc.Windows() {
+		history[w] = histAcc.Window(w)
+	}
+	for _, w := range actAcc.Windows() {
+		actual[w] = actAcc.Window(w)
+	}
+
+	cmp := Compare(forecasts, history, actual, lastWindow, 6, cfg)
+	if cmp.Windows != 6 {
+		t.Fatalf("compared %d windows", cmp.Windows)
+	}
+	if cmp.IndirectMAE <= 0 || cmp.DirectMAE <= 0 {
+		t.Fatalf("degenerate MAEs: %+v", cmp)
+	}
+	if cmp.AdvantageFactor() < 1.2 {
+		t.Fatalf("indirect advantage %.2fx below expectation (ind %.3f dir %.3f)",
+			cmp.AdvantageFactor(), cmp.IndirectMAE, cmp.DirectMAE)
+	}
+}
+
+func BenchmarkIndirect(b *testing.B) {
+	cfg := DefaultConfig()
+	var forecasts []events.Forecast
+	start := geo.Point{Lat: 37.5, Lon: 24.5}
+	for v := 0; v < 500; v++ {
+		f := events.Forecast{MMSI: ais.MMSI(v + 1)}
+		p := geo.Destination(start, float64(v%360), float64(v)*50)
+		for h := 0; h <= 6; h++ {
+			dt := time.Duration(h) * 5 * time.Minute
+			f.Points = append(f.Points, events.ForecastPoint{
+				Pos: geo.DeadReckon(p, 12, float64(v%360), dt.Seconds()),
+				At:  t0.Add(dt),
+			})
+		}
+		forecasts = append(forecasts, f)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Indirect(forecasts, cfg)
+	}
+}

@@ -1,0 +1,153 @@
+// Package weather provides the synthetic met-ocean field the paper's
+// future-work section (§7) plans to fuse with the H3-indexed AIS data:
+// wind and significant wave height as a smooth, deterministic function
+// of position and time, plus the enrichment helper that annotates
+// hexgrid cells with the conditions — the substitution for a real
+// weather-forecast feed (see DESIGN.md).
+//
+// The field is seeded value noise: pseudo-random values on a coarse
+// space-time lattice, interpolated smoothly between lattice points and
+// summed over octaves. It is cheap (no state), deterministic for a
+// seed, and spatially/temporally coherent — the properties enrichment
+// and routing logic actually depend on.
+package weather
+
+import (
+	"math"
+	"time"
+
+	"seatwin/internal/geo"
+	"seatwin/internal/hexgrid"
+)
+
+// Conditions are the met-ocean values at one place and time.
+type Conditions struct {
+	WindKnots   float64 // sustained wind speed
+	WindDirDeg  float64 // direction the wind blows FROM, degrees true
+	WaveHeightM float64 // significant wave height
+}
+
+// Severe reports whether the conditions exceed typical small-craft
+// limits (gale-force wind or heavy seas).
+func (c Conditions) Severe() bool {
+	return c.WindKnots >= 34 || c.WaveHeightM >= 4
+}
+
+// Field is a deterministic synthetic weather field.
+type Field struct {
+	seed int64
+	// spatialScaleDeg is the size of one lattice cell in degrees; the
+	// temporalScale that of one step in time.
+	spatialScaleDeg float64
+	temporalScale   time.Duration
+}
+
+// NewField creates a field with ~3 degree weather systems evolving on a
+// ~6 hour timescale.
+func NewField(seed int64) *Field {
+	return &Field{seed: seed, spatialScaleDeg: 3, temporalScale: 6 * time.Hour}
+}
+
+// hash maps lattice coordinates to a deterministic value in [0, 1).
+func (f *Field) hash(x, y, t, channel int64) float64 {
+	h := uint64(f.seed) ^ 0x9E3779B97F4A7C15
+	for _, v := range []int64{x, y, t, channel} {
+		h ^= uint64(v) * 0xBF58476D1CE4E5B9
+		h = (h ^ h>>27) * 0x94D049BB133111EB
+		h ^= h >> 31
+	}
+	return float64(h%(1<<53)) / (1 << 53)
+}
+
+// smooth is the C1 fade curve used between lattice points.
+func smooth(t float64) float64 { return t * t * (3 - 2*t) }
+
+// noise3 samples trilinearly interpolated lattice noise.
+func (f *Field) noise3(x, y, t float64, channel int64) float64 {
+	x0, y0, t0 := math.Floor(x), math.Floor(y), math.Floor(t)
+	fx, fy, ft := smooth(x-x0), smooth(y-y0), smooth(t-t0)
+	ix, iy, it := int64(x0), int64(y0), int64(t0)
+
+	lerp := func(a, b, f float64) float64 { return a + (b-a)*f }
+	var corners [2][2][2]float64
+	for dx := int64(0); dx <= 1; dx++ {
+		for dy := int64(0); dy <= 1; dy++ {
+			for dt := int64(0); dt <= 1; dt++ {
+				corners[dx][dy][dt] = f.hash(ix+dx, iy+dy, it+dt, channel)
+			}
+		}
+	}
+	return lerp(
+		lerp(lerp(corners[0][0][0], corners[1][0][0], fx), lerp(corners[0][1][0], corners[1][1][0], fx), fy),
+		lerp(lerp(corners[0][0][1], corners[1][0][1], fx), lerp(corners[0][1][1], corners[1][1][1], fx), fy),
+		ft)
+}
+
+// fbm sums octaves of noise3 into a value in roughly [0, 1].
+func (f *Field) fbm(x, y, t float64, channel int64) float64 {
+	sum, amp, norm := 0.0, 1.0, 0.0
+	for o := 0; o < 3; o++ {
+		scale := math.Pow(2, float64(o))
+		sum += amp * f.noise3(x*scale, y*scale, t*scale, channel+int64(o)*1000)
+		norm += amp
+		amp *= 0.5
+	}
+	return sum / norm
+}
+
+// At samples the field.
+func (f *Field) At(p geo.Point, at time.Time) Conditions {
+	x := geo.NormalizeLon(p.Lon) / f.spatialScaleDeg
+	y := p.Lat / f.spatialScaleDeg
+	t := float64(at.Unix()) / f.temporalScale.Seconds()
+
+	wind := f.fbm(x, y, t, 1)
+	dir := f.fbm(x, y, t, 2)
+	wave := f.fbm(x, y, t, 3)
+
+	// Wind: skewed so calm dominates but storms occur; latitudinal
+	// factor adds the westerlies' extra energy at high latitudes.
+	latFactor := 1 + 0.5*math.Abs(math.Sin(p.Lat*math.Pi/180))
+	windKn := math.Pow(wind, 1.7) * 55 * latFactor
+	// Waves follow the wind with their own texture.
+	waveM := (0.2 + 0.65*wave + 0.35*wind) * windKn / 12
+
+	return Conditions{
+		WindKnots:   windKn,
+		WindDirDeg:  dir * 360,
+		WaveHeightM: waveM,
+	}
+}
+
+// EnrichCells annotates each hexgrid cell (by centroid) with the field
+// conditions at the given time — the fusion of the weather layer with
+// the H3-indexed mobility data.
+func (f *Field) EnrichCells(cells []hexgrid.Cell, at time.Time) map[hexgrid.Cell]Conditions {
+	out := make(map[hexgrid.Cell]Conditions, len(cells))
+	for _, c := range cells {
+		if !c.Valid() {
+			continue
+		}
+		out[c] = f.At(c.Center(), at)
+	}
+	return out
+}
+
+// SpeedFactor estimates how much the conditions slow a vessel sailing
+// on the given course: head seas cost speed, following seas little —
+// the involuntary speed-loss model used for weather-aware routing.
+func SpeedFactor(c Conditions, courseDeg float64) float64 {
+	if c.WaveHeightM <= 0.5 {
+		return 1
+	}
+	// Relative angle between the course and the direction waves travel
+	// toward (opposite of WindDirDeg): 0 = following seas, 180 = head
+	// seas.
+	rel := geo.CourseDiff(courseDeg, c.WindDirDeg+180)
+	headness := (1 - math.Cos(rel*math.Pi/180)) / 2 // 0 following, 1 head
+	loss := 0.08 * c.WaveHeightM * headness
+	if loss > 0.45 {
+		loss = 0.45
+	}
+	return 1 - loss
+}

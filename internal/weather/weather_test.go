@@ -1,0 +1,145 @@
+package weather
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+
+	"seatwin/internal/geo"
+	"seatwin/internal/hexgrid"
+)
+
+var t0 = time.Date(2026, 7, 5, 12, 0, 0, 0, time.UTC)
+
+func TestDeterministicForSeed(t *testing.T) {
+	a := NewField(7)
+	b := NewField(7)
+	p := geo.Point{Lat: 45, Lon: -20}
+	if a.At(p, t0) != b.At(p, t0) {
+		t.Fatal("same seed diverged")
+	}
+	c := NewField(8)
+	if a.At(p, t0) == c.At(p, t0) {
+		t.Fatal("different seeds identical")
+	}
+}
+
+func TestBoundsPlausible(t *testing.T) {
+	f := NewField(3)
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 2000; i++ {
+		p := geo.Point{Lat: rng.Float64()*160 - 80, Lon: rng.Float64()*360 - 180}
+		at := t0.Add(time.Duration(rng.Intn(720)) * time.Hour)
+		c := f.At(p, at)
+		if c.WindKnots < 0 || c.WindKnots > 90 {
+			t.Fatalf("wind %f kn", c.WindKnots)
+		}
+		if c.WindDirDeg < 0 || c.WindDirDeg >= 360 {
+			t.Fatalf("direction %f", c.WindDirDeg)
+		}
+		if c.WaveHeightM < 0 || c.WaveHeightM > 15 {
+			t.Fatalf("waves %f m", c.WaveHeightM)
+		}
+	}
+}
+
+func TestSpatialCoherence(t *testing.T) {
+	// Points 10 km apart must have similar conditions; points 2000 km
+	// apart should usually differ more.
+	f := NewField(5)
+	rng := rand.New(rand.NewSource(2))
+	var nearDiff, farDiff float64
+	const samples = 300
+	for i := 0; i < samples; i++ {
+		p := geo.Point{Lat: rng.Float64()*120 - 60, Lon: rng.Float64()*340 - 170}
+		near := geo.Destination(p, rng.Float64()*360, 10000)
+		far := geo.Destination(p, rng.Float64()*360, 2000000)
+		c0 := f.At(p, t0)
+		nearDiff += math.Abs(f.At(near, t0).WindKnots - c0.WindKnots)
+		farDiff += math.Abs(f.At(far, t0).WindKnots - c0.WindKnots)
+	}
+	if nearDiff >= farDiff*0.5 {
+		t.Fatalf("field not coherent: near mean diff %.2f vs far %.2f",
+			nearDiff/samples, farDiff/samples)
+	}
+}
+
+func TestTemporalCoherence(t *testing.T) {
+	f := NewField(6)
+	p := geo.Point{Lat: 50, Lon: -30}
+	c0 := f.At(p, t0)
+	soon := f.At(p, t0.Add(10*time.Minute))
+	later := f.At(p, t0.Add(72*time.Hour))
+	if d := math.Abs(soon.WindKnots - c0.WindKnots); d > 3 {
+		t.Fatalf("wind jumped %.1f kn in 10 minutes", d)
+	}
+	_ = later // three days later anything goes; just must not panic
+}
+
+func TestVariabilityExists(t *testing.T) {
+	// The field must actually produce storms somewhere.
+	f := NewField(11)
+	rng := rand.New(rand.NewSource(3))
+	maxWind := 0.0
+	for i := 0; i < 5000; i++ {
+		p := geo.Point{Lat: rng.Float64()*140 - 70, Lon: rng.Float64()*360 - 180}
+		at := t0.Add(time.Duration(rng.Intn(2000)) * time.Hour)
+		if c := f.At(p, at); c.WindKnots > maxWind {
+			maxWind = c.WindKnots
+		}
+	}
+	if maxWind < 34 {
+		t.Fatalf("no gale anywhere: max wind %.1f kn", maxWind)
+	}
+}
+
+func TestEnrichCells(t *testing.T) {
+	f := NewField(4)
+	cells := hexgrid.Cover(geo.AegeanSea, 5)
+	if len(cells) == 0 {
+		t.Fatal("no cells")
+	}
+	enriched := f.EnrichCells(cells, t0)
+	if len(enriched) != len(cells) {
+		t.Fatalf("enriched %d of %d cells", len(enriched), len(cells))
+	}
+	for cell, c := range enriched {
+		want := f.At(cell.Center(), t0)
+		if c != want {
+			t.Fatal("enrichment does not match direct sampling")
+		}
+	}
+	if got := f.EnrichCells([]hexgrid.Cell{hexgrid.InvalidCell}, t0); len(got) != 0 {
+		t.Fatal("invalid cells must be skipped")
+	}
+}
+
+func TestSpeedFactor(t *testing.T) {
+	storm := Conditions{WindKnots: 40, WindDirDeg: 0, WaveHeightM: 5}
+	calm := Conditions{WindKnots: 5, WindDirDeg: 0, WaveHeightM: 0.3}
+	if SpeedFactor(calm, 123) != 1 {
+		t.Fatal("calm seas must not slow the vessel")
+	}
+	// Wind FROM north: waves travel south; a northbound vessel (course
+	// 0) faces head seas, a southbound one following seas.
+	headSea := SpeedFactor(storm, 0)
+	followingSea := SpeedFactor(storm, 180)
+	if headSea >= followingSea {
+		t.Fatalf("head seas (%f) must slow more than following seas (%f)", headSea, followingSea)
+	}
+	if headSea < 0.5 || headSea >= 1 {
+		t.Fatalf("head-sea factor %f implausible", headSea)
+	}
+	if !storm.Severe() || calm.Severe() {
+		t.Fatal("severity classification wrong")
+	}
+}
+
+func BenchmarkFieldAt(b *testing.B) {
+	f := NewField(1)
+	p := geo.Point{Lat: 37.5, Lon: 24.5}
+	for i := 0; i < b.N; i++ {
+		f.At(p, t0)
+	}
+}
