@@ -9,7 +9,9 @@ package seatwin_bench
 
 import (
 	"fmt"
+	"strconv"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -141,6 +143,75 @@ func BenchmarkVTFF_IndirectVsDirect(b *testing.B) {
 	fmt.Println()
 	fmt.Print(res.Format())
 	b.ReportMetric(res.Comparison.AdvantageFactor(), "indirect-advantage-x")
+}
+
+// --- Sharded runtime (DESIGN.md "Sharded runtime") ----------------
+
+// BenchmarkGetOrSpawnParallel measures a registry spawn storm: every
+// iteration materialises a new named actor — mimicking first contact of
+// new MMSIs and hexgrid cells — interleaved with re-lookups of already
+// registered hot names (the steady-state case). The shards-1 variant
+// reproduces the pre-sharding global registry lock as the baseline.
+func BenchmarkGetOrSpawnParallel(b *testing.B) {
+	for _, shards := range []int{1, 64} {
+		b.Run(fmt.Sprintf("shards-%d", shards), func(b *testing.B) {
+			sys := actor.NewSystemSharded("bench", shards)
+			defer sys.Shutdown(time.Second)
+			props := actor.PropsOf(func(c *actor.Context) {})
+			var next int64
+			b.RunParallel(func(pb *testing.PB) {
+				for pb.Next() {
+					n := atomic.AddInt64(&next, 1)
+					sys.GetOrSpawn("v-"+strconv.FormatInt(n, 10), props)
+					sys.GetOrSpawn("v-"+strconv.FormatInt(n>>4, 10), props)
+				}
+			})
+		})
+	}
+}
+
+// BenchmarkIngestParallel pushes position reports through the full
+// pipeline from parallel producers — the Figure 6 message path end to
+// end: registry lookup, vessel actor, forecast fan-out, metrics
+// recording and writer persistence. The timed region covers enqueue AND
+// processing to quiescence, so ns/op is the whole-pipeline per-message
+// cost rather than the enqueue rate alone.
+func BenchmarkIngestParallel(b *testing.B) {
+	cfg := pipeline.DefaultConfig(events.NewKinematicForecaster())
+	cfg.Writers = 4
+	p, err := pipeline.New(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer p.Shutdown(5 * time.Second)
+	base := time.Date(2026, 7, 5, 9, 0, 0, 0, time.UTC)
+	var workerID int64
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		// Each producer owns a disjoint MMSI range so per-vessel
+		// timestamps stay monotonic (the broker's per-key ordering).
+		w := atomic.AddInt64(&workerID, 1)
+		const fleet = 1024
+		var i int64
+		for pb.Next() {
+			i++
+			// The fleet sits on a wide grid (~20 km spacing) so cells hold
+			// ~1 vessel each: per-message work stays constant instead of
+			// exploding into O(n^2) pairwise detection, which would swamp
+			// the path under test with scheduling-sensitive churn.
+			v := (w-1)*fleet + i%fleet
+			ts := base.Add(time.Duration(i/fleet) * 30 * time.Second)
+			p.Ingest(ais.PositionReport{
+				MMSI: ais.MMSI(200000000 + v),
+				Lat:  30 + float64(v%64)*0.2,
+				Lon:  20 + float64(v/64)*0.2 + float64(i/fleet)*0.001,
+				SOG:  12, COG: 90,
+				Timestamp: ts,
+			}, ts)
+		}
+	})
+	p.Drain(60 * time.Second)
+	b.StopTimer()
 }
 
 // --- Ablations (DESIGN.md §5) -------------------------------------

@@ -1,0 +1,212 @@
+package actor
+
+import (
+	"math/rand"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestGetOrSpawnConcurrentSpawnPassivate hammers GetOrSpawn from 32
+// goroutines over a small name pool while actors are concurrently
+// stopped (the cell-passivation pattern), asserting exactly-one-spawn
+// semantics — at no point do two live actors share a name — and that
+// no message is lost: everything sent is either processed or
+// dead-lettered, never dropped silently. Run it under -race.
+func TestGetOrSpawnConcurrentSpawnPassivate(t *testing.T) {
+	sys := NewSystem("race")
+	defer sys.Shutdown(2 * time.Second)
+
+	const (
+		workers = 32
+		names   = 64
+		iters   = 300
+	)
+	var (
+		sent     atomic.Int64
+		received atomic.Int64
+		live     [names]atomic.Int32
+	)
+	propsFor := func(idx int) *Props {
+		return PropsOf(func(c *Context) {
+			switch c.Message().(type) {
+			case Started:
+				// Stopped(old) happens-before Started(new) for a reused
+				// name, so a gauge above 1 means two live actors shared it.
+				if g := live[idx].Add(1); g > 1 {
+					t.Errorf("name %d: %d concurrent live actors", idx, g)
+				}
+			case Stopped:
+				live[idx].Add(-1)
+			case int:
+				received.Add(1)
+			}
+		})
+	}
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w + 1)))
+			for i := 0; i < iters; i++ {
+				idx := rng.Intn(names)
+				pid, _ := sys.GetOrSpawn("cell-"+strconv.Itoa(idx), propsFor(idx))
+				sent.Add(1)
+				sys.Send(pid, i)
+				if rng.Intn(8) == 0 {
+					sys.Stop(pid) // concurrent passivation
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	// Every sent message must be accounted for: processed by a live
+	// actor or dead-lettered during a stop — never lost.
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		got := received.Load() + int64(sys.StatsSnapshot().DeadLetters)
+		if got == sent.Load() {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if got := received.Load() + int64(sys.StatsSnapshot().DeadLetters); got != sent.Load() {
+		t.Fatalf("messages lost: sent %d, accounted %d", sent.Load(), got)
+	}
+
+	// Registry bookkeeping stays exact through the churn.
+	var liveNames int64
+	for i := 0; i < names; i++ {
+		if sys.Lookup("cell-"+strconv.Itoa(i)) != nil {
+			liveNames++
+		}
+	}
+	if size := sys.RegistrySize(); size != liveNames {
+		t.Fatalf("RegistrySize = %d, live names = %d", size, liveNames)
+	}
+	var shardSum int64
+	for _, n := range sys.RegistryShardSizes() {
+		if n < 0 {
+			t.Fatalf("negative shard size %d", n)
+		}
+		shardSum += n
+	}
+	if shardSum != sys.RegistrySize() {
+		t.Fatalf("shard sizes sum %d != RegistrySize %d", shardSum, sys.RegistrySize())
+	}
+}
+
+// TestSingleShardSystemBehaves checks the shards=1 baseline (the
+// pre-sharding global lock) still provides the same semantics.
+func TestSingleShardSystemBehaves(t *testing.T) {
+	sys := NewSystemSharded("one", 1)
+	defer sys.Shutdown(time.Second)
+	props := PropsOf(func(c *Context) {})
+	a, spawnedA := sys.GetOrSpawn("x", props)
+	b, spawnedB := sys.GetOrSpawn("x", props)
+	if !spawnedA || spawnedB || a != b {
+		t.Fatalf("GetOrSpawn semantics broken: %v %v %v %v", a, spawnedA, b, spawnedB)
+	}
+	if sys.RegistrySize() != 1 || len(sys.RegistryShardSizes()) != 1 {
+		t.Fatalf("size bookkeeping: %d shards=%v", sys.RegistrySize(), sys.RegistryShardSizes())
+	}
+}
+
+// TestLookupRemovesDeadEntry verifies the stale-registry fix: a
+// registry entry whose actor has died is deleted eagerly by Lookup
+// instead of lingering until the process unregisters.
+func TestLookupRemovesDeadEntry(t *testing.T) {
+	sys := NewSystem("t")
+	pid, err := sys.SpawnNamed(PropsOf(func(c *Context) {}), "zombie")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.StopWait(pid, time.Second); err != nil {
+		t.Fatal(err)
+	}
+	// Simulate the tombstone window: re-insert the dead pid as a stale
+	// entry, as if the unregister had not run yet.
+	sh := sys.shardOf("zombie")
+	sh.m.Store("zombie", pid)
+	sh.size.Add(1)
+	if sys.Lookup("zombie") != nil {
+		t.Fatal("dead entry returned from Lookup")
+	}
+	if _, ok := sh.m.Load("zombie"); ok {
+		t.Fatal("dead entry not eagerly deleted")
+	}
+	if size := sys.RegistrySize(); size != 0 {
+		t.Fatalf("RegistrySize = %d after tombstone removal", size)
+	}
+}
+
+// TestQueuedMessagesCountsBacklog verifies System.QueuedMessages sees a
+// backlog held in a slow actor's mailbox — the signal Pipeline.Drain
+// uses to not declare quiescence early.
+func TestQueuedMessagesCountsBacklog(t *testing.T) {
+	sys := NewSystem("t")
+	defer sys.Shutdown(time.Second)
+	release := make(chan struct{})
+	pid, err := sys.SpawnNamed(PropsOf(func(c *Context) {
+		if _, ok := c.Message().(int); ok {
+			<-release
+		}
+	}), "slow")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		sys.Send(pid, i)
+	}
+	// The first message blocks inside Receive; at least the other nine
+	// must be visible as queued backlog.
+	deadline := time.Now().Add(2 * time.Second)
+	for sys.QueuedMessages() < 9 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if q := sys.QueuedMessages(); q < 9 {
+		t.Fatalf("QueuedMessages = %d, want >= 9", q)
+	}
+	close(release)
+	deadline = time.Now().Add(2 * time.Second)
+	for sys.QueuedMessages() != 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if q := sys.QueuedMessages(); q != 0 {
+		t.Fatalf("QueuedMessages = %d after drain, want 0", q)
+	}
+}
+
+// TestAskTargetStopsWithoutReply verifies the future-actor leak fix:
+// when the target dies mid-Ask the call returns promptly with
+// ErrDeadLetter and the internal future actor is stopped rather than
+// leaked until an external timeout.
+func TestAskTargetStopsWithoutReply(t *testing.T) {
+	sys := NewSystem("t")
+	pid := sys.Spawn(PropsOf(func(c *Context) {})) // never replies
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		sys.Stop(pid)
+	}()
+	start := time.Now()
+	_, err := sys.Ask(pid, "x", 5*time.Second)
+	if err != ErrDeadLetter {
+		t.Fatalf("err = %v, want ErrDeadLetter", err)
+	}
+	if since := time.Since(start); since > time.Second {
+		t.Fatalf("Ask took %v; should return promptly on target death", since)
+	}
+	// Both the target and the future must be gone.
+	deadline := time.Now().Add(2 * time.Second)
+	for sys.LiveActors() != 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if n := sys.LiveActors(); n != 0 {
+		t.Fatalf("%d actors leaked after Ask", n)
+	}
+}

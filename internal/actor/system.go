@@ -12,19 +12,73 @@ import (
 // stream, dead-letter accounting and global defaults. One System per
 // process is the expected deployment, mirroring one Akka ActorSystem per
 // node in the paper's architecture.
+//
+// The named-actor registry is striped over a fixed array of shards
+// (FNV-1a hash of the name selects the shard) so that spawn storms —
+// one actor per new MMSI and per first-contact hexgrid cell — contend
+// only within a shard instead of serialising system-wide on one mutex.
 type System struct {
 	name       string
 	throughput int
 
 	nextID uint64
 
-	registry sync.Map // name -> *PID, named actors only
-	nameMu   sync.Mutex
+	shards    []registryShard
+	shardMask uint64
 
 	events *EventStream
 	stats  Stats
 
 	shutdown int32
+}
+
+// registryShard is one stripe of the named-actor registry. Lookups stay
+// lock-free through the shard's sync.Map; only spawns into the stripe
+// take the shard mutex. The trailing pad keeps neighbouring shards off
+// the same cache line under write-heavy spawn storms.
+type registryShard struct {
+	mu   sync.Mutex
+	m    sync.Map // name -> *PID
+	size atomic.Int64
+	_    [64]byte
+}
+
+// lookup returns the live PID registered under name in this shard.
+// Entries whose actor has died are deleted eagerly so long-running
+// systems with passivating cell actors don't accumulate tombstones
+// between the death and the actor's own unregister.
+func (sh *registryShard) lookup(name string) *PID {
+	v, ok := sh.m.Load(name)
+	if !ok {
+		return nil
+	}
+	pid := v.(*PID)
+	if pid.Alive() {
+		return pid
+	}
+	if sh.m.CompareAndDelete(name, pid) {
+		sh.size.Add(-1)
+	}
+	return nil
+}
+
+// defaultRegistryShards spreads spawn contention well past the core
+// counts of current hardware while keeping the per-system footprint
+// trivial (a few KiB).
+const defaultRegistryShards = 64
+
+// shardOf maps a name to its registry stripe (inlined FNV-1a).
+func (s *System) shardOf(name string) *registryShard {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(name); i++ {
+		h ^= uint64(name[i])
+		h *= prime64
+	}
+	return &s.shards[h&s.shardMask]
 }
 
 // Stats aggregates system-level counters. All fields are read with
@@ -39,9 +93,27 @@ type Stats struct {
 }
 
 // NewSystem creates an actor system with the default per-run throughput
-// of 300 messages.
+// of 300 messages and the default registry shard count.
 func NewSystem(name string) *System {
-	return &System{name: name, throughput: 300, events: NewEventStream()}
+	return NewSystemSharded(name, defaultRegistryShards)
+}
+
+// NewSystemSharded creates an actor system whose named-actor registry
+// is striped over the given number of shards, rounded up to a power of
+// two (minimum 1). A single shard reproduces the pre-sharding global
+// registry lock and serves as the benchmark baseline.
+func NewSystemSharded(name string, shards int) *System {
+	n := 1
+	for n < shards {
+		n <<= 1
+	}
+	return &System{
+		name:       name,
+		throughput: 300,
+		events:     NewEventStream(),
+		shards:     make([]registryShard, n),
+		shardMask:  uint64(n - 1),
+	}
 }
 
 // Name returns the system name.
@@ -80,15 +152,45 @@ func (s *System) SpawnNamed(props *Props, name string) (*PID, error) {
 	return s.spawnNamed(props, name, nil)
 }
 
-// Lookup returns the PID registered under name, or nil.
+// Lookup returns the PID registered under name, or nil. Dead entries
+// found along the way are removed eagerly (see registryShard.lookup).
 func (s *System) Lookup(name string) *PID {
-	if v, ok := s.registry.Load(name); ok {
-		pid := v.(*PID)
-		if pid.Alive() {
-			return pid
-		}
+	return s.shardOf(name).lookup(name)
+}
+
+// RegistrySize returns the number of named actors currently registered
+// across all shards.
+func (s *System) RegistrySize() int64 {
+	var total int64
+	for i := range s.shards {
+		total += s.shards[i].size.Load()
 	}
-	return nil
+	return total
+}
+
+// RegistryShardSizes returns the per-shard registry occupancy in shard
+// order — the skew diagnostic for the sharded runtime.
+func (s *System) RegistryShardSizes() []int64 {
+	out := make([]int64, len(s.shards))
+	for i := range s.shards {
+		out[i] = s.shards[i].size.Load()
+	}
+	return out
+}
+
+// QueuedMessages sums the user-mailbox depth of every registered named
+// actor — the backlog still awaiting processing. Anonymous actors
+// (Ask futures) are not counted; quiescence checks pair this with the
+// MessagesProcessed counter.
+func (s *System) QueuedMessages() int64 {
+	var total int64
+	for i := range s.shards {
+		s.shards[i].m.Range(func(_, v any) bool {
+			total += v.(*PID).process.mb.Len()
+			return true
+		})
+	}
+	return total
 }
 
 // GetOrSpawn returns the live actor registered under name, spawning it
@@ -96,16 +198,18 @@ func (s *System) Lookup(name string) *PID {
 // This is the primitive the pipeline uses to materialise vessel actors
 // per MMSI and cell actors per hexgrid cell on first contact.
 func (s *System) GetOrSpawn(name string, props *Props) (*PID, bool) {
-	if pid := s.Lookup(name); pid != nil {
+	sh := s.shardOf(name)
+	if pid := sh.lookup(name); pid != nil {
 		return pid, false
 	}
-	s.nameMu.Lock()
-	defer s.nameMu.Unlock()
-	if pid := s.Lookup(name); pid != nil {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if pid := sh.lookup(name); pid != nil {
 		return pid, false
 	}
 	pid := s.newProcess(props, name, nil)
-	s.registry.Store(name, pid)
+	sh.m.Store(name, pid)
+	sh.size.Add(1)
 	pid.process.sendSystem(sysStarted{})
 	return pid, true
 }
@@ -114,13 +218,15 @@ func (s *System) spawnNamed(props *Props, name string, parent *PID) (*PID, error
 	if name == "" {
 		return nil, fmt.Errorf("actor: empty name")
 	}
-	s.nameMu.Lock()
-	defer s.nameMu.Unlock()
-	if existing := s.Lookup(name); existing != nil {
+	sh := s.shardOf(name)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if existing := sh.lookup(name); existing != nil {
 		return nil, fmt.Errorf("actor: name %q already registered", name)
 	}
 	pid := s.newProcess(props, name, parent)
-	s.registry.Store(name, pid)
+	sh.m.Store(name, pid)
+	sh.size.Add(1)
 	pid.process.sendSystem(sysStarted{})
 	return pid, nil
 }
@@ -151,8 +257,11 @@ func (s *System) newProcess(props *Props, name string, parent *PID) *PID {
 }
 
 func (s *System) unregister(pid *PID) {
-	if v, ok := s.registry.Load(pid.name); ok && v.(*PID) == pid {
-		s.registry.Delete(pid.name)
+	sh := s.shardOf(pid.name)
+	// CompareAndDelete keeps the shard size exact when an eager Lookup
+	// deletion or a name-reusing respawn races this unregister.
+	if sh.m.CompareAndDelete(pid.name, pid) {
+		sh.size.Add(-1)
 	}
 }
 
@@ -240,14 +349,31 @@ func (s *System) Ask(target *PID, msg any, timeout time.Duration) (any, error) {
 	}
 	ch := make(chan any, 1)
 	fpid := s.spawn(PropsFromProducer(func() Actor { return &futureActor{ch: ch} }), "", nil)
+	// The future must be stopped on every exit path — replying futures
+	// stop themselves, but a target that dies without replying used to
+	// leak the future until an external timeout.
+	defer s.Stop(fpid)
 	target.process.sendUser(envelope{message: msg, sender: fpid})
 	timer := time.NewTimer(timeout)
 	defer timer.Stop()
 	select {
 	case reply := <-ch:
 		return reply, nil
+	case <-target.process.done:
+		// The target stopped; a reply may still be in flight through the
+		// future's mailbox, so grant a short grace before reporting the
+		// message dead-lettered.
+		grace := time.NewTimer(10 * time.Millisecond)
+		defer grace.Stop()
+		select {
+		case reply := <-ch:
+			return reply, nil
+		case <-grace.C:
+			return nil, ErrDeadLetter
+		case <-timer.C:
+			return nil, ErrTimeout
+		}
 	case <-timer.C:
-		s.Stop(fpid)
 		return nil, ErrTimeout
 	}
 }
@@ -272,10 +398,12 @@ func (s *System) deadLetter(target *PID, msg any, sender *PID) {
 func (s *System) Shutdown(timeout time.Duration) {
 	atomic.StoreInt32(&s.shutdown, 1)
 	var pids []*PID
-	s.registry.Range(func(_, v any) bool {
-		pids = append(pids, v.(*PID))
-		return true
-	})
+	for i := range s.shards {
+		s.shards[i].m.Range(func(_, v any) bool {
+			pids = append(pids, v.(*PID))
+			return true
+		})
+	}
 	deadline := time.Now().Add(timeout)
 	for _, pid := range pids {
 		s.Stop(pid)

@@ -227,6 +227,33 @@ func (s *Store) HSet(key, field, value string) (bool, error) {
 	return !existed, nil
 }
 
+// HSetMulti sets every field/value pair in the hash at key under one
+// lock acquisition, creating the hash as needed — the batched write
+// path of the writer actors, which would otherwise pay one store-wide
+// mutex round-trip per field. It returns how many fields were new.
+func (s *Store) HSetMulti(key string, fields map[string]string) (int, error) {
+	if len(fields) == 0 {
+		return 0, nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.live(key)
+	if !ok {
+		e = &entry{kind: kindHash, hash: make(map[string]string, len(fields))}
+		s.data[key] = e
+	} else if e.kind != kindHash {
+		return 0, ErrWrongType
+	}
+	added := 0
+	for f, v := range fields {
+		if _, existed := e.hash[f]; !existed {
+			added++
+		}
+		e.hash[f] = v
+	}
+	return added, nil
+}
+
 // HGet returns the value of field in the hash at key.
 func (s *Store) HGet(key, field string) (string, bool, error) {
 	s.mu.RLock()

@@ -367,6 +367,33 @@ func BenchmarkHSet(b *testing.B) {
 	}
 }
 
+// BenchmarkWriteStateFields compares the writer actor's two shapes of
+// a vessel-state update: eight individual HSet calls (eight store-lock
+// round-trips) against one batched HSetMulti.
+func BenchmarkWriteStateFields(b *testing.B) {
+	fields := map[string]string{
+		"lat": "37.96600", "lon": "23.71400", "sog": "12.5", "cog": "118.0",
+		"status": "UnderWayUsingEngine", "ts": "2026-07-05T09:00:00Z",
+		"name": "MV BENCH", "type": "70",
+	}
+	b.Run("hset-per-field", func(b *testing.B) {
+		s := New()
+		defer s.Close()
+		for i := 0; i < b.N; i++ {
+			for f, v := range fields {
+				s.HSet("vessel:123", f, v)
+			}
+		}
+	})
+	b.Run("hsetmulti", func(b *testing.B) {
+		s := New()
+		defer s.Close()
+		for i := 0; i < b.N; i++ {
+			s.HSetMulti("vessel:123", fields)
+		}
+	})
+}
+
 func BenchmarkZAdd(b *testing.B) {
 	s := New()
 	defer s.Close()

@@ -15,7 +15,7 @@ import (
 // pointed at it exactly as it would be at Redis.
 //
 // Supported commands: PING, ECHO, SET [EX seconds], GET, DEL, EXISTS,
-// EXPIRE, TTL, KEYS, DBSIZE, HSET, HGET, HGETALL, HDEL, HLEN, ZADD,
+// EXPIRE, TTL, KEYS, DBSIZE, HSET, HMSET, HGET, HGETALL, HDEL, HLEN, ZADD,
 // ZSCORE, ZREM, ZCARD, ZRANGEBYSCORE, PUBLISH, SUBSCRIBE.
 type Server struct {
 	store *Store
@@ -311,6 +311,23 @@ func (s *Server) dispatch(w *bufio.Writer, args []string) {
 		} else {
 			writeInt(w, 0)
 		}
+	case "HMSET":
+		// HMSET key field value [field value ...] — the batched form the
+		// writer actors use internally; replies with the new-field count.
+		if len(args) < 4 || len(args)%2 != 0 {
+			writeError(w, "wrong number of arguments for HMSET")
+			return
+		}
+		fields := make(map[string]string, (len(args)-2)/2)
+		for i := 2; i < len(args); i += 2 {
+			fields[args[i]] = args[i+1]
+		}
+		added, err := s.store.HSetMulti(args[1], fields)
+		if err != nil {
+			writeError(w, err.Error())
+			return
+		}
+		writeInt(w, int64(added))
 	case "HGET":
 		if len(args) != 3 {
 			writeError(w, "wrong number of arguments for HGET")

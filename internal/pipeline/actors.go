@@ -3,7 +3,6 @@ package pipeline
 import (
 	"fmt"
 	"strconv"
-	"sync/atomic"
 	"time"
 
 	"seatwin/internal/actor"
@@ -70,7 +69,7 @@ func (v *vesselActor) Receive(c *actor.Context) {
 	case posMsg:
 		start := time.Now()
 		v.onPosition(c, m)
-		v.p.observeProcessing(time.Since(start))
+		v.p.observeProcessing(uint64(v.mmsi), time.Since(start))
 	case ais.StaticVoyage:
 		v.static = m
 	case eventMsg:
@@ -102,7 +101,7 @@ func (v *vesselActor) onPosition(c *actor.Context, m posMsg) {
 	if f, ok := v.p.cfg.Forecaster.ForecastTrack(v.history); ok {
 		forecast = f
 		haveForecast = true
-		atomic.AddInt64(&v.p.forecasts, 1)
+		v.p.forecasts.Inc(uint64(v.mmsi), 1)
 	}
 
 	if mon := v.p.congestion; mon != nil {
@@ -249,19 +248,24 @@ func (w *writerActor) writeState(m stateMsg) {
 	}
 	key := "vessel:" + m.report.MMSI.String()
 	st := w.p.store
-	st.HSet(key, "lat", strconv.FormatFloat(m.report.Lat, 'f', 5, 64))
-	st.HSet(key, "lon", strconv.FormatFloat(m.report.Lon, 'f', 5, 64))
-	st.HSet(key, "sog", strconv.FormatFloat(m.report.SOG, 'f', 1, 64))
-	st.HSet(key, "cog", strconv.FormatFloat(m.report.COG, 'f', 1, 64))
-	st.HSet(key, "status", m.report.Status.String())
-	st.HSet(key, "ts", m.report.Timestamp.UTC().Format(time.RFC3339))
+	// One batched write per state update: a single lock acquisition on
+	// the store instead of one per field.
+	fields := map[string]string{
+		"lat":    strconv.FormatFloat(m.report.Lat, 'f', 5, 64),
+		"lon":    strconv.FormatFloat(m.report.Lon, 'f', 5, 64),
+		"sog":    strconv.FormatFloat(m.report.SOG, 'f', 1, 64),
+		"cog":    strconv.FormatFloat(m.report.COG, 'f', 1, 64),
+		"status": m.report.Status.String(),
+		"ts":     m.report.Timestamp.UTC().Format(time.RFC3339),
+	}
 	if len(m.forecast) > 0 {
-		st.HSet(key, "forecast", encodeForecast(m.forecast))
+		fields["forecast"] = encodeForecast(m.forecast)
 	}
 	if sv, ok := w.p.Static(m.report.MMSI); ok {
-		st.HSet(key, "name", sv.Name)
-		st.HSet(key, "type", strconv.Itoa(int(sv.ShipType)))
+		fields["name"] = sv.Name
+		fields["type"] = strconv.Itoa(int(sv.ShipType))
 	}
+	st.HSetMulti(key, fields)
 	// The active-vessel index, scored by last report time.
 	st.ZAdd("vessels:active", float64(m.report.Timestamp.Unix()), m.report.MMSI.String())
 }

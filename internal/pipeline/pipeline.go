@@ -115,15 +115,26 @@ type Pipeline struct {
 
 	statics sync.Map // ais.MMSI -> ais.StaticVoyage, the shared cache
 
-	latency       *metrics.LatencyRecorder
-	procMu        sync.Mutex
+	// writerMask routes a vessel to its writer with a power-of-two mask
+	// over the mixed MMSI (len(writers) is rounded up to a power of two).
+	writerMask uint64
+
+	// The per-message observability path is striped: vessel actors record
+	// into per-shard slots keyed by MMSI, and a background sampler drains
+	// the accumulator into the Figure 6 moving-average series — no global
+	// lock is taken while processing a message.
+	latency       *metrics.ShardedLatencyRecorder
+	procAcc       *metrics.ShardedAccumulator
+	procMu        sync.Mutex // guards movingAvg + series (sampler vs readers)
 	movingAvg     *metrics.MovingAverage
 	series        []Sample
-	sampleCounter int64
+	samplePending int64
 	sampleGap     int64
+	samplerStop   chan struct{}
+	samplerDone   chan struct{}
 
-	messages     int64
-	forecasts    int64
+	messages     *metrics.ShardedCounter
+	forecasts    *metrics.ShardedCounter
 	badSentences int64
 	vessels      int64 // distinct vessel actors spawned (paper's x-axis)
 	closed       int32
@@ -132,12 +143,23 @@ type Pipeline struct {
 	assembler *ais.Assembler
 
 	// Cross-cell deduplication of pairwise events: several collision
-	// actors can detect the same pair in the same pass.
-	pairMu   sync.Mutex
-	pairSeen map[string]time.Time
+	// actors can detect the same pair in the same pass. The seen-map is
+	// sharded by key hash so concurrent collision actors only contend
+	// when their pairs land in the same stripe.
+	pairShards [pairShardCount]pairShard
 
 	// congestion is non-nil when Config.Ports was set.
 	congestion *congestion.Monitor
+}
+
+// pairShardCount stripes the pairwise-event dedup map (power of two).
+const pairShardCount = 16
+
+// pairShard is one stripe of the pairwise dedup state.
+type pairShard struct {
+	mu   sync.Mutex
+	seen map[string]time.Time
+	_    [48]byte
 }
 
 // Congestion returns the port-congestion monitor, or nil when port
@@ -146,21 +168,33 @@ func (p *Pipeline) Congestion() *congestion.Monitor { return p.congestion }
 
 // shouldEmitPair reports whether a pairwise event may be emitted, and
 // records it; repeats within the window are suppressed system-wide.
+// The check is striped by key hash: a pair always routes to the same
+// shard, so dedup stays exact while unrelated pairs never contend.
 func (p *Pipeline) shouldEmitPair(key string, at time.Time, window time.Duration) bool {
-	p.pairMu.Lock()
-	defer p.pairMu.Unlock()
-	if last, ok := p.pairSeen[key]; ok && at.Sub(last) < window {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(key); i++ {
+		h ^= uint64(key[i])
+		h *= prime64
+	}
+	sh := &p.pairShards[h&(pairShardCount-1)]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if last, ok := sh.seen[key]; ok && at.Sub(last) < window {
 		return false
 	}
-	// Opportunistic cleanup keeps the map bounded.
-	if len(p.pairSeen) > 1<<16 {
-		for k, t := range p.pairSeen {
+	// Opportunistic cleanup keeps each stripe bounded.
+	if len(sh.seen) > (1<<16)/pairShardCount {
+		for k, t := range sh.seen {
 			if at.Sub(t) > window {
-				delete(p.pairSeen, k)
+				delete(sh.seen, k)
 			}
 		}
 	}
-	p.pairSeen[key] = at
+	sh.seen[key] = at
 	return true
 }
 
@@ -176,6 +210,14 @@ func New(cfg Config) (*Pipeline, error) {
 	if cfg.Writers <= 0 {
 		cfg.Writers = 1
 	}
+	// The writer fan-out uses a power-of-two mask; round the writer pool
+	// up so every mask value maps to a writer.
+	for w := 1; ; w <<= 1 {
+		if w >= cfg.Writers {
+			cfg.Writers = w
+			break
+		}
+	}
 	if cfg.MetricsWindow <= 0 {
 		cfg.MetricsWindow = 100
 	}
@@ -184,15 +226,23 @@ func New(cfg Config) (*Pipeline, error) {
 		store = kvstore.New()
 	}
 	p := &Pipeline{
-		cfg:       cfg,
-		system:    actor.NewSystem("seatwin"),
-		store:     store,
-		log:       events.NewLog(1 << 14),
-		latency:   metrics.NewLatencyRecorder(1 << 15),
-		movingAvg: metrics.NewMovingAverage(cfg.MetricsWindow),
-		sampleGap: 500,
-		pairSeen:  make(map[string]time.Time),
-		assembler: ais.NewAssembler(),
+		cfg:         cfg,
+		system:      actor.NewSystem("seatwin"),
+		store:       store,
+		log:         events.NewLog(1 << 14),
+		latency:     metrics.NewShardedLatencyRecorder(0, 1<<15),
+		procAcc:     metrics.NewShardedAccumulator(0),
+		movingAvg:   metrics.NewMovingAverage(cfg.MetricsWindow),
+		sampleGap:   500,
+		messages:    metrics.NewShardedCounter(0),
+		forecasts:   metrics.NewShardedCounter(0),
+		writerMask:  uint64(cfg.Writers - 1),
+		samplerStop: make(chan struct{}),
+		samplerDone: make(chan struct{}),
+		assembler:   ais.NewAssembler(),
+	}
+	for i := range p.pairShards {
+		p.pairShards[i].seen = make(map[string]time.Time)
 	}
 	if len(cfg.Ports) > 0 {
 		p.congestion = congestion.NewMonitor(cfg.Ports, 0)
@@ -220,7 +270,49 @@ func New(cfg Config) (*Pipeline, error) {
 		}
 		p.writers = append(p.writers, pid)
 	}
+	go p.sampler()
 	return p, nil
+}
+
+// sampler periodically drains the per-shard processing-time
+// accumulators into the Figure 6 moving-average series. It is the only
+// writer of movingAvg/series, so message processing never touches the
+// series lock.
+func (p *Pipeline) sampler() {
+	defer close(p.samplerDone)
+	ticker := time.NewTicker(5 * time.Millisecond)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-p.samplerStop:
+			p.drainSample()
+			return
+		case <-ticker.C:
+			p.drainSample()
+		}
+	}
+}
+
+// drainSample folds the accumulated processing times into the moving
+// average and appends one series point per sampleGap observations.
+func (p *Pipeline) drainSample() {
+	count, sum := p.procAcc.Drain()
+	if count == 0 {
+		return
+	}
+	mean := float64(sum) / float64(count)
+	p.procMu.Lock()
+	avg := p.movingAvg.Add(mean)
+	p.samplePending += count
+	for p.samplePending >= p.sampleGap {
+		p.samplePending -= p.sampleGap
+		p.series = append(p.series, Sample{
+			Vessels:    atomic.LoadInt64(&p.vessels),
+			Actors:     p.system.LiveActors(),
+			AvgProcess: time.Duration(avg),
+		})
+	}
+	p.procMu.Unlock()
 }
 
 // System exposes the actor system (introspection and tests).
@@ -232,9 +324,15 @@ func (p *Pipeline) Store() *kvstore.Store { return p.store }
 // EventLog exposes the in-memory event list (the UI's Figure 4f feed).
 func (p *Pipeline) EventLog() *events.Log { return p.log }
 
-// writerFor deterministically assigns an output source to one writer.
+// writerFor deterministically assigns an output source to one writer:
+// a power-of-two mask over the mixed MMSI, cheaper than the modulo it
+// replaces and evenly spread even for sequential MMSI blocks.
 func (p *Pipeline) writerFor(mmsi ais.MMSI) *actor.PID {
-	return p.writers[int(uint32(mmsi))%len(p.writers)]
+	h := uint64(mmsi)
+	h ^= h >> 33
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 33
+	return p.writers[h&p.writerMask]
 }
 
 // Ingest routes one decoded AIS message into the pipeline: the entry
@@ -255,7 +353,7 @@ func (p *Pipeline) Ingest(msg ais.Message, receivedAt time.Time) {
 		p.statics.Store(m.MMSI, m)
 		p.system.Send(p.vesselActor(m.MMSI), m)
 	case ais.PositionReport:
-		atomic.AddInt64(&p.messages, 1)
+		p.messages.Inc(uint64(m.MMSI), 1)
 		p.system.Send(p.vesselActor(m.MMSI), posMsg{report: m, receivedAt: receivedAt})
 	}
 }
@@ -375,21 +473,16 @@ func (p *Pipeline) Static(mmsi ais.MMSI) (ais.StaticVoyage, bool) {
 	return v.(ais.StaticVoyage), true
 }
 
-// observeProcessing records one vessel-actor processing duration and
-// extends the Figure 6 series.
-func (p *Pipeline) observeProcessing(d time.Duration) {
-	p.latency.Observe(d)
-	p.procMu.Lock()
-	avg := p.movingAvg.Add(float64(d))
-	p.sampleCounter++
-	if p.sampleCounter%p.sampleGap == 0 {
-		p.series = append(p.series, Sample{
-			Vessels:    atomic.LoadInt64(&p.vessels),
-			Actors:     p.system.LiveActors(),
-			AvgProcess: time.Duration(avg),
-		})
-	}
-	p.procMu.Unlock()
+// observeProcessing records one vessel-actor processing duration on the
+// shard selected by hint (the MMSI). The observation is two padded
+// atomic adds plus one striped-mutex quantile insert; the Figure 6
+// series itself is extended by the background sampler, so the hot path
+// holds no shared lock. The moving average consequently windows over
+// sampler drains rather than single messages — the same recent-history
+// mean at a coarser granularity.
+func (p *Pipeline) observeProcessing(hint uint64, d time.Duration) {
+	p.latency.Observe(hint, d)
+	p.procAcc.Add(hint, int64(d))
 }
 
 // Stats summarises a running pipeline.
@@ -405,8 +498,8 @@ type Stats struct {
 // Stats snapshots the pipeline counters.
 func (p *Pipeline) Stats() Stats {
 	return Stats{
-		Messages:   atomic.LoadInt64(&p.messages),
-		Forecasts:  atomic.LoadInt64(&p.forecasts),
+		Messages:   p.messages.Value(),
+		Forecasts:  p.forecasts.Value(),
 		LiveActors: p.system.LiveActors(),
 		Latency:    p.latency.Snapshot(),
 		Events:     p.log.Total(),
@@ -414,8 +507,11 @@ func (p *Pipeline) Stats() Stats {
 	}
 }
 
-// Series returns the Figure 6 samples gathered so far.
+// Series returns the Figure 6 samples gathered so far. Pending
+// observations are folded in first so a caller right after Drain sees
+// the complete series.
 func (p *Pipeline) Series() []Sample {
+	p.drainSample()
 	p.procMu.Lock()
 	defer p.procMu.Unlock()
 	out := make([]Sample, len(p.series))
@@ -445,13 +541,16 @@ func (p *Pipeline) ConsumeLoop(c *broker.Consumer, pollWait time.Duration) int {
 }
 
 // Drain waits until the actor system has processed everything enqueued
-// so far (approximately: message counters stop moving), up to timeout.
+// so far, up to timeout. Quiescence requires both that the processed
+// counter stops moving AND that no mailbox still holds queued messages:
+// a stalled-but-backlogged system (e.g. one slow forecaster with a deep
+// mailbox) must not be declared drained just because throughput paused.
 func (p *Pipeline) Drain(timeout time.Duration) {
 	deadline := time.Now().Add(timeout)
 	var last uint64
 	for time.Now().Before(deadline) {
 		cur := p.system.StatsSnapshot().MessagesProcessed
-		if cur == last && cur > 0 {
+		if cur == last && cur > 0 && p.system.QueuedMessages() == 0 {
 			return
 		}
 		last = cur
@@ -464,6 +563,8 @@ func (p *Pipeline) Shutdown(timeout time.Duration) {
 	if !atomic.CompareAndSwapInt32(&p.closed, 0, 1) {
 		return
 	}
+	close(p.samplerStop)
+	<-p.samplerDone
 	p.system.Shutdown(timeout)
 	if p.cfg.Store == nil {
 		p.store.Close()
