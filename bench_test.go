@@ -19,6 +19,7 @@ import (
 	"seatwin/internal/ais"
 	"seatwin/internal/events"
 	"seatwin/internal/experiments"
+	"seatwin/internal/feed"
 	"seatwin/internal/fleetsim"
 	"seatwin/internal/geo"
 	"seatwin/internal/hexgrid"
@@ -212,6 +213,85 @@ func BenchmarkIngestParallel(b *testing.B) {
 	})
 	p.Drain(60 * time.Second)
 	b.StopTimer()
+}
+
+// BenchmarkLiveFeedEndToEnd measures the full push path: AIS reports
+// ingested into the pipeline, processed by vessel actors, persisted by
+// writer actors, and fanned out by the live-feed hub to thousands of
+// concurrently-consuming subscribers — the Figure 2 middleware serving
+// push instead of poll. Compare ns/op against BenchmarkIngestParallel
+// to read the marginal cost of the feed layer.
+func BenchmarkLiveFeedEndToEnd(b *testing.B) {
+	hub := feed.NewHub(feed.Options{RegionResolution: 7})
+	defer hub.Close()
+	cfg := pipeline.DefaultConfig(events.NewKinematicForecaster())
+	cfg.Writers = 4
+	cfg.Feed = hub
+	p, err := pipeline.New(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer p.Shutdown(5 * time.Second)
+
+	// 2,000 subscribers over the fleet's vessel and region topics plus
+	// the event classes, all draining concurrently.
+	const fleet, nSubs = 1024, 2000
+	var wg sync.WaitGroup
+	for i := 0; i < nSubs; i++ {
+		var topics []string
+		switch i % 3 {
+		case 0:
+			topics = []string{feed.TopicVesselPrefix + ais.MMSI(200000001+i%fleet).String()}
+		case 1:
+			topics = []string{hub.RegionTopic(geo.Point{
+				Lat: 30 + float64(i%64)*0.2, Lon: 20 + float64(i/64%16)*0.2,
+			})}
+		default:
+			topics = []string{feed.TopicProximity, feed.TopicCollision, feed.TopicGap}
+		}
+		sub, err := hub.Subscribe(topics, feed.SubOptions{Buffer: 64, Policy: feed.PolicyConflate})
+		if err != nil {
+			b.Fatal(err)
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				if _, ok := sub.Recv(); !ok {
+					return
+				}
+			}
+		}()
+	}
+
+	base := time.Date(2026, 7, 5, 9, 0, 0, 0, time.UTC)
+	var workerID int64
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		w := atomic.AddInt64(&workerID, 1)
+		var i int64
+		for pb.Next() {
+			i++
+			v := (w-1)*fleet + i%fleet
+			ts := base.Add(time.Duration(i/fleet) * 30 * time.Second)
+			p.Ingest(ais.PositionReport{
+				MMSI: ais.MMSI(200000000 + v),
+				Lat:  30 + float64(v%64)*0.2,
+				Lon:  20 + float64(v/64)*0.2 + float64(i/fleet)*0.001,
+				SOG:  12, COG: 90,
+				Timestamp: ts,
+			}, ts)
+		}
+	})
+	p.Drain(60 * time.Second)
+	b.StopTimer()
+	s := hub.Snapshot()
+	if s.Published > 0 {
+		b.ReportMetric(float64(s.Fanned+s.Conflated)/float64(s.Published), "deliveries/frame")
+	}
+	b.ReportMetric(s.FanoutP99.Seconds()*1e6, "fanout-p99-µs")
+	hub.Close()
+	wg.Wait()
 }
 
 // --- Ablations (DESIGN.md §5) -------------------------------------

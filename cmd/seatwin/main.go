@@ -8,7 +8,7 @@
 // Usage:
 //
 //	seatwin [-vessels 2000] [-region aegean|europe|global] [-model s-vrf.gob]
-//	        [-addr :8080] [-resp :6379] [-duration 0] [-seed 1]
+//	        [-addr :8080] [-resp :6379] [-feed-tcp :9230] [-duration 0] [-seed 1]
 package main
 
 import (
@@ -22,6 +22,7 @@ import (
 	"seatwin/internal/broker"
 	"seatwin/internal/congestion"
 	"seatwin/internal/events"
+	"seatwin/internal/feed"
 	"seatwin/internal/fleetsim"
 	"seatwin/internal/geo"
 	"seatwin/internal/kvstore"
@@ -40,6 +41,8 @@ func main() {
 		seed      = flag.Int64("seed", 1, "simulation seed")
 		dataDir   = flag.String("data", "", "durable broker directory (empty = in-memory)")
 		ports     = flag.Bool("monitor-ports", false, "enable port-congestion monitoring for catalog ports in the region")
+		feedTCP   = flag.String("feed-tcp", "", "optional live-feed TCP listen address (length-prefixed JSON, e.g. 127.0.0.1:9230)")
+		feedRes   = flag.Int("feed-region-res", 7, "hexgrid resolution of live-feed region/<cell> topics")
 	)
 	flag.Parse()
 
@@ -71,6 +74,11 @@ func main() {
 	defer store.Close()
 	cfg := pipeline.DefaultConfig(fc)
 	cfg.Store = store
+	// The live feed is always on: SSE subscribers attach via the HTTP
+	// API (/api/stream), TCP subscribers via -feed-tcp.
+	hub := feed.NewHub(feed.Options{RegionResolution: *feedRes})
+	defer hub.Close()
+	cfg.Feed = hub
 	if *ports {
 		for _, pt := range fleetsim.PortsWithin(regionOrGlobal(box)) {
 			cfg.Ports = append(cfg.Ports, congestion.Port{
@@ -103,7 +111,17 @@ func main() {
 		defer respSrv.Close()
 		log.Printf("redis-protocol endpoint on %s", *respAddr)
 	}
-	log.Printf("http api on http://%s/api/stats", *addr)
+	if *feedTCP != "" {
+		feedSrv := feed.NewServer(hub)
+		go func() {
+			if err := feedSrv.ListenAndServe(*feedTCP); err != nil {
+				log.Printf("feed: %v", err)
+			}
+		}()
+		defer feedSrv.Close()
+		log.Printf("live-feed TCP endpoint on %s", *feedTCP)
+	}
+	log.Printf("http api on http://%s/api/stats (live feed: /api/stream)", *addr)
 
 	// Ingestion: simulator -> broker -> pipeline consumers.
 	var br *broker.Broker

@@ -41,11 +41,23 @@ func SubscribeType[T any](e *EventStream, fn func(T)) (unsubscribe func()) {
 	})
 }
 
-// Publish delivers the event to every current subscriber.
+// Publish delivers the event to every subscriber present when the call
+// started. The handler list is snapshotted before any handler runs:
+// invoking handlers under the read lock would deadlock with Go's
+// writer-preferring RWMutex as soon as a handler calls Subscribe or
+// unsubscribe (the write-lock request blocks, and with a writer
+// waiting, a re-entrant RLock blocks too). The snapshot costs one small
+// allocation and gives handlers the usual pub/sub freedom: a handler
+// may (un)subscribe, and one (un)subscribing concurrently with Publish
+// may or may not see the in-flight event.
 func (e *EventStream) Publish(event any) {
 	e.mu.RLock()
-	defer e.mu.RUnlock()
+	handlers := make([]func(any), 0, len(e.subs))
 	for _, fn := range e.subs {
+		handlers = append(handlers, fn)
+	}
+	e.mu.RUnlock()
+	for _, fn := range handlers {
 		fn(event)
 	}
 }

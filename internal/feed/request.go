@@ -1,0 +1,151 @@
+package feed
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"seatwin/internal/ais"
+	"seatwin/internal/geo"
+	"seatwin/internal/hexgrid"
+)
+
+// Request is the transport-independent subscribe request both the SSE
+// endpoint and the TCP protocol resolve into hub topics.
+type Request struct {
+	// Vessels are MMSIs (any numeric form; normalised to the 9-digit
+	// topic key).
+	Vessels []string `json:"vessel,omitempty"`
+	// Regions are hexgrid cell tokens ("hex:<res>:<q>:<r>") or
+	// "lat,lon" pairs resolved to the hub's region resolution.
+	Regions []string `json:"region,omitempty"`
+	// Events are event classes ("proximity", "collision", "gap") or
+	// "all".
+	Events []string `json:"events,omitempty"`
+	// Policy is the overflow policy name ("drop", "conflate",
+	// "disconnect"; empty = drop).
+	Policy string `json:"policy,omitempty"`
+	// Buffer is the ring capacity (0 = hub default).
+	Buffer int `json:"buffer,omitempty"`
+}
+
+// eventClasses are the valid events/* subscription classes.
+var eventClasses = map[string]string{
+	"proximity": TopicProximity,
+	"collision": TopicCollision,
+	"gap":       TopicGap,
+}
+
+// Resolve validates the request against the hub's configuration and
+// returns the topic list plus subscription options. Errors describe the
+// offending field (transports surface them as 4xx / error frames).
+func (h *Hub) Resolve(req Request) ([]string, SubOptions, error) {
+	var topics []string
+	for _, v := range splitAll(req.Vessels) {
+		n, err := strconv.ParseUint(v, 10, 32)
+		if err != nil || !ais.MMSI(n).Valid() {
+			return nil, SubOptions{}, fmt.Errorf("feed: invalid vessel MMSI %q", v)
+		}
+		topics = append(topics, TopicVesselPrefix+ais.MMSI(n).String())
+	}
+	// Regions split on ';' (a "lat,lon" pair owns its comma); repeat the
+	// query parameter or separate with ';' for several regions.
+	for _, r := range splitOn(req.Regions, ";") {
+		cell, err := h.resolveRegion(r)
+		if err != nil {
+			return nil, SubOptions{}, err
+		}
+		topics = append(topics, TopicRegionPrefix+cell.String())
+	}
+	for _, e := range splitAll(req.Events) {
+		if e == "all" || e == "*" {
+			topics = append(topics, TopicProximity, TopicCollision, TopicGap)
+			continue
+		}
+		t, ok := eventClasses[e]
+		if !ok {
+			return nil, SubOptions{}, fmt.Errorf("feed: unknown event class %q (want proximity|collision|gap|all)", e)
+		}
+		topics = append(topics, t)
+	}
+	if len(topics) == 0 {
+		return nil, SubOptions{}, ErrNoTopics
+	}
+	policy, ok := ParsePolicy(req.Policy)
+	if !ok {
+		return nil, SubOptions{}, fmt.Errorf("feed: unknown policy %q (want drop|conflate|disconnect)", req.Policy)
+	}
+	if req.Buffer < 0 || req.Buffer > 1<<20 {
+		return nil, SubOptions{}, fmt.Errorf("feed: buffer %d out of range", req.Buffer)
+	}
+	return dedupTopics(topics), SubOptions{Buffer: req.Buffer, Policy: policy}, nil
+}
+
+// SubscribeRequest resolves and subscribes in one step.
+func (h *Hub) SubscribeRequest(req Request) (*Subscription, error) {
+	topics, opt, err := h.Resolve(req)
+	if err != nil {
+		return nil, err
+	}
+	return h.Subscribe(topics, opt)
+}
+
+// resolveRegion turns a region token (cell string or "lat,lon") into a
+// cell at the hub's resolution.
+func (h *Hub) resolveRegion(s string) (hexgrid.Cell, error) {
+	if strings.HasPrefix(s, "hex:") {
+		cell, err := hexgrid.ParseCell(s)
+		if err != nil {
+			return hexgrid.InvalidCell, err
+		}
+		if cell.Resolution() != h.regionRes {
+			// Re-key the request onto the hub's grid via the centroid.
+			cell = hexgrid.LatLonToCell(cell.Center(), h.regionRes)
+		}
+		return cell, nil
+	}
+	parts := strings.Split(s, ",")
+	if len(parts) == 2 {
+		lat, errLat := strconv.ParseFloat(strings.TrimSpace(parts[0]), 64)
+		lon, errLon := strconv.ParseFloat(strings.TrimSpace(parts[1]), 64)
+		if errLat == nil && errLon == nil {
+			cell := hexgrid.LatLonToCell(geo.Point{Lat: lat, Lon: lon}, h.regionRes)
+			if !cell.Valid() {
+				return hexgrid.InvalidCell, fmt.Errorf("feed: position %q outside the grid domain", s)
+			}
+			return cell, nil
+		}
+	}
+	return hexgrid.InvalidCell, fmt.Errorf("feed: region %q is neither a cell token nor lat,lon", s)
+}
+
+// splitAll expands comma-separated entries ("a,b" in one query value)
+// and drops empties.
+func splitAll(in []string) []string { return splitOn(in, ",") }
+
+// splitOn expands entries on the given separator and drops empties.
+func splitOn(in []string, sep string) []string {
+	var out []string
+	for _, v := range in {
+		for _, part := range strings.Split(v, sep) {
+			part = strings.TrimSpace(part)
+			if part != "" {
+				out = append(out, part)
+			}
+		}
+	}
+	return out
+}
+
+func dedupTopics(in []string) []string {
+	seen := make(map[string]struct{}, len(in))
+	out := in[:0]
+	for _, t := range in {
+		if _, dup := seen[t]; dup {
+			continue
+		}
+		seen[t] = struct{}{}
+		out = append(out, t)
+	}
+	return out
+}

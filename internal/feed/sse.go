@@ -1,0 +1,97 @@
+package feed
+
+import (
+	"fmt"
+	"net/http"
+)
+
+// SSEHandler serves the hub over Server-Sent Events:
+//
+//	GET /api/stream?vessel=<mmsi,...>&region=<cell|lat,lon[;...]>&events=<class,...|all>
+//	               [&policy=drop|conflate|disconnect][&buffer=N]
+//
+// The response opens with an "event: hello" frame listing the resolved
+// topics, then streams "event: state" / "event: event" frames whose
+// data lines carry the same self-describing JSON documents as the TCP
+// feed. Malformed parameters fail with 400 before any stream bytes are
+// written; a slow client under the disconnect policy is terminated by
+// closing the response.
+func (h *Hub) SSEHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		q := r.URL.Query()
+		req := Request{
+			Vessels: q["vessel"],
+			Regions: q["region"],
+			Events:  q["events"],
+			Policy:  q.Get("policy"),
+		}
+		if s := q.Get("buffer"); s != "" {
+			if _, err := fmt.Sscanf(s, "%d", &req.Buffer); err != nil {
+				http.Error(w, "feed: buffer must be an integer", http.StatusBadRequest)
+				return
+			}
+		}
+		sub, err := h.SubscribeRequest(req)
+		if err != nil {
+			status := http.StatusBadRequest
+			if err == ErrHubClosed {
+				status = http.StatusServiceUnavailable
+			}
+			http.Error(w, err.Error(), status)
+			return
+		}
+		defer sub.Close()
+
+		flusher, ok := w.(http.Flusher)
+		if !ok {
+			http.Error(w, "feed: streaming unsupported by this connection", http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", "text/event-stream")
+		w.Header().Set("Cache-Control", "no-cache")
+		w.Header().Set("Connection", "keep-alive")
+		w.WriteHeader(http.StatusOK)
+		fmt.Fprintf(w, "event: hello\ndata: {\"topics\":%s}\n\n", topicsJSON(sub.Topics()))
+		flusher.Flush()
+
+		// Recv blocks on the ring's condition variable; a goroutine
+		// watching the request context unblocks it when the client goes
+		// away so the handler (and its ring) are released promptly.
+		done := make(chan struct{})
+		defer close(done)
+		go func() {
+			select {
+			case <-r.Context().Done():
+				sub.Close()
+			case <-done:
+			}
+		}()
+
+		for {
+			d, ok := sub.Recv()
+			if !ok {
+				return
+			}
+			if _, err := fmt.Fprintf(w, "event: %s\ndata: %s\n\n", d.Type, d.Data); err != nil {
+				return
+			}
+			flusher.Flush()
+		}
+	})
+}
+
+// topicsJSON renders a topic list as a JSON string array (topics are
+// generated tokens, never containing characters that need escaping).
+func topicsJSON(topics []string) string {
+	out := make([]byte, 0, 64)
+	out = append(out, '[')
+	for i, t := range topics {
+		if i > 0 {
+			out = append(out, ',')
+		}
+		out = append(out, '"')
+		out = append(out, t...)
+		out = append(out, '"')
+	}
+	return string(append(out, ']'))
+}

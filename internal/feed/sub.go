@@ -1,0 +1,91 @@
+package feed
+
+import (
+	"errors"
+	"sync/atomic"
+)
+
+// Subscription errors.
+var (
+	// ErrSlowConsumer closes a PolicyDisconnect subscription whose ring
+	// overflowed: the consumer could not keep up with the feed.
+	ErrSlowConsumer = errors.New("feed: slow consumer disconnected")
+	// ErrHubClosed reports a shut-down hub.
+	ErrHubClosed = errors.New("feed: hub closed")
+	// ErrNoTopics rejects a subscription with an empty topic list.
+	ErrNoTopics = errors.New("feed: at least one topic is required")
+)
+
+// SubOptions configure one subscription.
+type SubOptions struct {
+	// Buffer is the ring capacity in frames (<=0 selects the hub
+	// default).
+	Buffer int
+	// Policy selects the overflow behaviour.
+	Policy Policy
+}
+
+// Delivery is one frame handed to a subscriber: the encoded JSON
+// payload plus its type tag ("state" or "event", also present inside
+// the payload).
+type Delivery struct {
+	Type string
+	Data []byte
+}
+
+// Subscription is one consumer's attachment to the hub. Recv is meant
+// for a single consuming goroutine; Close may be called from anywhere.
+type Subscription struct {
+	hub    *Hub
+	id     uint64
+	topics []string
+	ring   *ring
+
+	// lastSeq dedups a frame matching several of this subscriber's
+	// topics within one publish (written under the hub's read lock;
+	// sequence numbers are globally unique so concurrent publishes
+	// cannot collide).
+	lastSeq atomic.Uint64
+}
+
+// Topics returns the topics the subscription is attached to.
+func (s *Subscription) Topics() []string {
+	return append([]string(nil), s.topics...)
+}
+
+// Recv blocks until the next frame is available, returning ok=false
+// once the subscription is closed (by Close, hub shutdown or the
+// disconnect overflow policy — see Err for the reason).
+func (s *Subscription) Recv() (Delivery, bool) {
+	f, ok := s.ring.pop()
+	if !ok {
+		return Delivery{}, false
+	}
+	return Delivery{Type: f.typ, Data: f.data}, true
+}
+
+// Err returns why the subscription closed (nil while it is open or
+// after a plain consumer-side Close).
+func (s *Subscription) Err() error {
+	err := s.ring.closeErr()
+	if err == errConsumerClosed {
+		return nil
+	}
+	return err
+}
+
+// errConsumerClosed marks a deliberate consumer-side Close.
+var errConsumerClosed = errors.New("feed: subscription closed")
+
+// Close detaches the subscription from the hub and wakes any blocked
+// Recv. It is idempotent.
+func (s *Subscription) Close() {
+	s.closeWith(errConsumerClosed)
+	s.hub.remove(s)
+}
+
+// closeWith closes the ring with a reason without touching the hub
+// maps (the hub paths remove the subscription themselves).
+func (s *Subscription) closeWith(err error) {
+	s.ring.closeNow(err)
+}

@@ -1,0 +1,273 @@
+package feed
+
+import (
+	"bufio"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+)
+
+// The TCP feed protocol is length-prefixed JSON, the binary sibling of
+// the SSE endpoint for headless consumers sitting next to the RESP
+// socket: every message on the wire is a 4-byte big-endian length
+// followed by that many bytes of JSON. The client speaks first with one
+// Request document; the server answers with {"type":"hello",...} (or
+// {"type":"error",...} and a close) and then streams the same state /
+// event documents the SSE transport carries.
+
+// maxFrameBytes bounds a single wire frame (oversized lengths indicate
+// a protocol mismatch, e.g. an HTTP client on the feed port).
+const maxFrameBytes = 1 << 22
+
+// writeFrame writes one length-prefixed JSON payload.
+func writeFrame(w io.Writer, payload []byte) error {
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(payload)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+// readFrame reads one length-prefixed JSON payload.
+func readFrame(r io.Reader) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n == 0 || n > maxFrameBytes {
+		return nil, fmt.Errorf("feed: bad frame length %d", n)
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return nil, err
+	}
+	return buf, nil
+}
+
+// Server exposes a Hub over the TCP feed protocol.
+type Server struct {
+	hub *Hub
+
+	mu       sync.Mutex
+	listener net.Listener
+	conns    map[net.Conn]struct{}
+	closed   bool
+	wg       sync.WaitGroup
+}
+
+// NewServer wraps a hub; call Serve or ListenAndServe to start.
+func NewServer(hub *Hub) *Server {
+	return &Server{hub: hub, conns: make(map[net.Conn]struct{})}
+}
+
+// ListenAndServe listens on addr (e.g. "127.0.0.1:9230") and serves
+// until Close.
+func (s *Server) ListenAndServe(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return s.Serve(ln)
+}
+
+// Serve accepts connections on ln until Close.
+func (s *Server) Serve(ln net.Listener) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		ln.Close()
+		return fmt.Errorf("feed: server closed")
+	}
+	s.listener = ln
+	s.mu.Unlock()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			s.mu.Lock()
+			closed := s.closed
+			s.mu.Unlock()
+			if closed {
+				return nil
+			}
+			return err
+		}
+		s.mu.Lock()
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			s.handle(conn)
+		}()
+	}
+}
+
+// Addr returns the listener address, or nil before Serve.
+func (s *Server) Addr() net.Addr {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.listener == nil {
+		return nil
+	}
+	return s.listener.Addr()
+}
+
+// Close stops the listener and terminates every live connection.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	ln := s.listener
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	var err error
+	if ln != nil {
+		err = ln.Close()
+	}
+	s.wg.Wait()
+	return err
+}
+
+func (s *Server) drop(conn net.Conn) {
+	conn.Close()
+	s.mu.Lock()
+	delete(s.conns, conn)
+	s.mu.Unlock()
+}
+
+// handle serves one subscriber connection: read the subscribe request,
+// ack, then pump the ring until either side goes away.
+func (s *Server) handle(conn net.Conn) {
+	defer s.drop(conn)
+	conn.SetReadDeadline(time.Now().Add(30 * time.Second))
+	raw, err := readFrame(conn)
+	if err != nil {
+		return
+	}
+	var req Request
+	if err := json.Unmarshal(raw, &req); err != nil {
+		writeFrame(conn, errorDoc("malformed subscribe request: "+err.Error()))
+		return
+	}
+	sub, err := s.hub.SubscribeRequest(req)
+	if err != nil {
+		writeFrame(conn, errorDoc(err.Error()))
+		return
+	}
+	defer sub.Close()
+
+	hello, _ := json.Marshal(map[string]any{"type": "hello", "topics": sub.Topics()})
+	bw := bufio.NewWriter(conn)
+	conn.SetWriteDeadline(time.Now().Add(30 * time.Second))
+	if err := writeFrame(bw, hello); err != nil || bw.Flush() != nil {
+		return
+	}
+
+	// A reader goroutine watches for client-side close (feed clients
+	// send nothing after subscribing, so any read completion means the
+	// peer hung up) and unblocks Recv.
+	go func() {
+		conn.SetReadDeadline(time.Time{})
+		io.Copy(io.Discard, conn)
+		sub.Close()
+	}()
+
+	for {
+		d, ok := sub.Recv()
+		if !ok {
+			// Tell a disconnect-policy victim why before hanging up.
+			if sub.Err() == ErrSlowConsumer {
+				conn.SetWriteDeadline(time.Now().Add(2 * time.Second))
+				if writeFrame(bw, errorDoc(ErrSlowConsumer.Error())) == nil {
+					bw.Flush()
+				}
+			}
+			return
+		}
+		// The per-write deadline bounds how long a wedged peer can pin
+		// this goroutine; while it is blocked the ring keeps absorbing
+		// frames under the subscription's overflow policy.
+		conn.SetWriteDeadline(time.Now().Add(30 * time.Second))
+		if err := writeFrame(bw, d.Data); err != nil {
+			return
+		}
+		if err := bw.Flush(); err != nil {
+			return
+		}
+	}
+}
+
+func errorDoc(msg string) []byte {
+	b, _ := json.Marshal(map[string]string{"type": "error", "error": msg})
+	return b
+}
+
+// Client is a minimal consumer of the TCP feed protocol (examples and
+// tests; production consumers can reimplement the trivial framing in
+// any language).
+type Client struct {
+	conn net.Conn
+	r    *bufio.Reader
+	// Topics are the server-resolved topics from the hello frame.
+	Topics []string
+}
+
+// Dial connects, sends the subscribe request and consumes the hello.
+func Dial(addr string, req Request) (*Client, error) {
+	conn, err := net.DialTimeout("tcp", addr, 5*time.Second)
+	if err != nil {
+		return nil, err
+	}
+	payload, err := json.Marshal(req)
+	if err != nil {
+		conn.Close()
+		return nil, err
+	}
+	if err := writeFrame(conn, payload); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	c := &Client{conn: conn, r: bufio.NewReader(conn)}
+	hello, err := c.next()
+	if err != nil {
+		conn.Close()
+		return nil, err
+	}
+	var doc struct {
+		Type   string   `json:"type"`
+		Error  string   `json:"error"`
+		Topics []string `json:"topics"`
+	}
+	if err := json.Unmarshal(hello, &doc); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	if doc.Type != "hello" {
+		conn.Close()
+		return nil, fmt.Errorf("feed: subscribe rejected: %s", doc.Error)
+	}
+	c.Topics = doc.Topics
+	return c, nil
+}
+
+func (c *Client) next() ([]byte, error) {
+	return readFrame(c.r)
+}
+
+// Next returns the next frame's raw JSON document.
+func (c *Client) Next() ([]byte, error) { return c.next() }
+
+// Close terminates the connection.
+func (c *Client) Close() error { return c.conn.Close() }

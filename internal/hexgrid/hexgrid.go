@@ -28,6 +28,8 @@ package hexgrid
 import (
 	"fmt"
 	"math"
+	"strconv"
+	"strings"
 
 	"seatwin/internal/geo"
 )
@@ -85,6 +87,33 @@ func (c Cell) String() string {
 	}
 	q, r := c.axial()
 	return fmt.Sprintf("hex:%d:%d:%d", c.Resolution(), q, r)
+}
+
+// ParseCell parses the "hex:<res>:<q>:<r>" form produced by
+// Cell.String back into a Cell (the feed layer accepts cell tokens as
+// region subscription keys).
+func ParseCell(s string) (Cell, error) {
+	parts := strings.Split(s, ":")
+	if len(parts) != 4 || parts[0] != "hex" {
+		return InvalidCell, fmt.Errorf("hexgrid: malformed cell %q", s)
+	}
+	var nums [3]int
+	for i, p := range parts[1:] {
+		v, err := strconv.Atoi(p)
+		if err != nil {
+			return InvalidCell, fmt.Errorf("hexgrid: malformed cell %q", s)
+		}
+		nums[i] = v
+	}
+	res, q, r := nums[0], nums[1], nums[2]
+	if res < 0 || res > MaxResolution {
+		return InvalidCell, fmt.Errorf("hexgrid: resolution %d out of range", res)
+	}
+	c := makeCell(res, q, r)
+	if !c.Valid() {
+		return InvalidCell, fmt.Errorf("hexgrid: coordinates of %q out of range", s)
+	}
+	return c, nil
 }
 
 // Radius returns the circumradius of hexagons at the given resolution,

@@ -394,3 +394,33 @@ func BenchmarkGridDisk(b *testing.B) {
 		c.GridDisk(1)
 	}
 }
+
+func TestParseCellRoundTrip(t *testing.T) {
+	for _, res := range []int{0, 4, 7, 9, 15} {
+		c := LatLonToCell(geo.Point{Lat: 37.9, Lon: 23.6}, res)
+		parsed, err := ParseCell(c.String())
+		if err != nil {
+			t.Fatalf("res %d: %v", res, err)
+		}
+		if parsed != c {
+			t.Fatalf("res %d: round trip %v != %v", res, parsed, c)
+		}
+	}
+	// Negative axial coordinates round-trip too.
+	c := LatLonToCell(geo.Point{Lat: -35.2, Lon: -71.6}, 7)
+	if parsed, err := ParseCell(c.String()); err != nil || parsed != c {
+		t.Fatalf("negative coords: %v %v", parsed, err)
+	}
+}
+
+func TestParseCellRejectsMalformed(t *testing.T) {
+	for _, s := range []string{
+		"", "hex:invalid", "hex:7:1", "hex:7:1:2:3", "h3:7:1:2",
+		"hex:16:0:0", "hex:-1:0:0", "hex:7:x:2", "hex:7:1:2 ",
+		"hex:7:999999999999:0",
+	} {
+		if _, err := ParseCell(s); err == nil {
+			t.Errorf("ParseCell(%q) accepted", s)
+		}
+	}
+}

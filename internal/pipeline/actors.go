@@ -8,6 +8,7 @@ import (
 	"seatwin/internal/actor"
 	"seatwin/internal/ais"
 	"seatwin/internal/events"
+	"seatwin/internal/feed"
 	"seatwin/internal/geo"
 	"seatwin/internal/hexgrid"
 )
@@ -248,6 +249,20 @@ func (w *writerActor) writeState(m stateMsg) {
 	}
 	key := "vessel:" + m.report.MMSI.String()
 	st := w.p.store
+	static, haveStatic := w.p.Static(m.report.MMSI)
+	if w.p.cfg.Feed != nil {
+		// Push transports: the frame rides the actor EventStream the
+		// feed hub is attached to. The hub's bounded per-subscriber
+		// rings guarantee this publish never blocks the writer.
+		w.p.system.Events().Publish(feed.State{
+			MMSI: m.report.MMSI, Name: static.Name,
+			Lat: m.report.Lat, Lon: m.report.Lon,
+			SOG: m.report.SOG, COG: m.report.COG,
+			Status:   m.report.Status.String(),
+			TS:       m.report.Timestamp,
+			Forecast: m.forecast,
+		})
+	}
 	// One batched write per state update: a single lock acquisition on
 	// the store instead of one per field.
 	fields := map[string]string{
@@ -261,9 +276,9 @@ func (w *writerActor) writeState(m stateMsg) {
 	if len(m.forecast) > 0 {
 		fields["forecast"] = encodeForecast(m.forecast)
 	}
-	if sv, ok := w.p.Static(m.report.MMSI); ok {
-		fields["name"] = sv.Name
-		fields["type"] = strconv.Itoa(int(sv.ShipType))
+	if haveStatic {
+		fields["name"] = static.Name
+		fields["type"] = strconv.Itoa(int(static.ShipType))
 	}
 	st.HSetMulti(key, fields)
 	// The active-vessel index, scored by last report time.
@@ -273,6 +288,9 @@ func (w *writerActor) writeState(m stateMsg) {
 func (w *writerActor) writeEvent(e events.Event) {
 	if ob := w.p.cfg.OutputBroker; ob != nil {
 		ob.Produce(w.p.cfg.OutputEventsTopic, e.PairKey(), e)
+	}
+	if w.p.cfg.Feed != nil {
+		w.p.system.Events().Publish(e)
 	}
 	member := fmt.Sprintf("%s|%s|%s|%.0fm|%s",
 		e.Kind, e.A, e.B, e.Meters, e.At.UTC().Format(time.RFC3339))

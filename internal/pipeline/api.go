@@ -3,6 +3,7 @@ package pipeline
 import (
 	"encoding/json"
 	"fmt"
+	"log"
 	"net"
 	"net/http"
 	"sort"
@@ -36,6 +37,7 @@ func NewAPI(p *Pipeline) *API {
 	mux.HandleFunc("/api/series", a.handleSeries)
 	mux.HandleFunc("/api/congestion", a.handleCongestion)
 	mux.HandleFunc("/api/route", a.handleRoute)
+	mux.HandleFunc("/api/stream", a.handleStream)
 	mux.HandleFunc("/metrics", a.handleMetrics)
 	a.srv = &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
 	return a
@@ -71,7 +73,39 @@ func (a *API) Close() error { return a.srv.Close() }
 
 func writeJSON(w http.ResponseWriter, v any) {
 	w.Header().Set("Content-Type", "application/json")
-	json.NewEncoder(w).Encode(v)
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		// Headers are already on the wire, so no status can be changed;
+		// a failed encode (almost always a client hang-up mid-body) must
+		// still be visible to operators rather than vanish.
+		log.Printf("api: encode response: %v", err)
+	}
+}
+
+// parseLimit resolves an optional positive integer query parameter,
+// failing the request with 400 on malformed input. ok=false means the
+// response has been written.
+func parseLimit(w http.ResponseWriter, r *http.Request, name string, def int) (int, bool) {
+	q := r.URL.Query().Get(name)
+	if q == "" {
+		return def, true
+	}
+	v, err := strconv.Atoi(q)
+	if err != nil || v <= 0 {
+		http.Error(w, fmt.Sprintf("%s must be a positive integer, got %q", name, q), http.StatusBadRequest)
+		return 0, false
+	}
+	return v, true
+}
+
+// handleStream serves the live push feed over SSE (see internal/feed);
+// 404 when the pipeline was built without a feed hub.
+func (a *API) handleStream(w http.ResponseWriter, r *http.Request) {
+	hub := a.p.cfg.Feed
+	if hub == nil {
+		http.Error(w, "live feed not configured", http.StatusNotFound)
+		return
+	}
+	hub.SSEHandler().ServeHTTP(w, r)
 }
 
 func (a *API) handleHealth(w http.ResponseWriter, _ *http.Request) {
@@ -146,11 +180,9 @@ func (a *API) vesselDoc(mmsi string) (vesselJSON, bool) {
 }
 
 func (a *API) handleVessels(w http.ResponseWriter, r *http.Request) {
-	limit := 100
-	if q := r.URL.Query().Get("limit"); q != "" {
-		if v, err := strconv.Atoi(q); err == nil && v > 0 {
-			limit = v
-		}
+	limit, ok := parseLimit(w, r, "limit", 100)
+	if !ok {
+		return
 	}
 	members, err := a.p.store.ZRangeByScore("vessels:active", 0, 1e18)
 	if err != nil {
@@ -178,11 +210,9 @@ func (a *API) handleVessel(w http.ResponseWriter, r *http.Request) {
 }
 
 func (a *API) handleEvents(w http.ResponseWriter, r *http.Request) {
-	limit := 100
-	if q := r.URL.Query().Get("limit"); q != "" {
-		if v, err := strconv.Atoi(q); err == nil && v > 0 {
-			limit = v
-		}
+	limit, ok := parseLimit(w, r, "limit", 100)
+	if !ok {
+		return
 	}
 	evs := a.p.log.Recent(limit)
 	type eventJSON struct {
@@ -214,29 +244,42 @@ func (a *API) handleEvents(w http.ResponseWriter, r *http.Request) {
 // of Life for an origin/destination port pair (§4.1; Figure 4a/4b):
 // GET /api/route?from=Piraeus&to=Heraklion&type=70&length=190&draught=10.5
 func (a *API) handleRoute(w http.ResponseWriter, r *http.Request) {
-	model := a.p.cfg.RouteModel
-	if model == nil {
-		http.Error(w, "route model not configured", http.StatusNotFound)
-		return
-	}
+	// Client errors (malformed/missing parameters) are diagnosed before
+	// deployment state, so a 404 always means "no model here".
 	q := r.URL.Query()
 	from, to := q.Get("from"), q.Get("to")
 	if from == "" || to == "" {
 		http.Error(w, "from and to are required", http.StatusBadRequest)
 		return
 	}
-	parse := func(key string, def float64) float64 {
-		if s := q.Get(key); s != "" {
-			if v, err := strconv.ParseFloat(s, 64); err == nil {
-				return v
-			}
+	// Absent parameters take defaults; malformed ones are a client
+	// error, not a silent fallback.
+	parse := func(key string, def float64) (float64, error) {
+		s := q.Get(key)
+		if s == "" {
+			return def, nil
 		}
-		return def
+		v, err := strconv.ParseFloat(s, 64)
+		if err != nil {
+			return 0, fmt.Errorf("%s must be numeric, got %q", key, s)
+		}
+		return v, nil
 	}
-	features := lvrf.Features{
-		ShipType: uint8(parse("type", 70)),
-		Length:   parse("length", 190),
-		Draught:  parse("draught", 10),
+	var features lvrf.Features
+	shipType, errT := parse("type", 70)
+	length, errL := parse("length", 190)
+	draught, errD := parse("draught", 10)
+	for _, err := range []error{errT, errL, errD} {
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+	}
+	features = lvrf.Features{ShipType: uint8(shipType), Length: length, Draught: draught}
+	model := a.p.cfg.RouteModel
+	if model == nil {
+		http.Error(w, "route model not configured", http.StatusNotFound)
+		return
 	}
 	path, err := model.ForecastRoute(from, to, features)
 	if err != nil {
@@ -324,6 +367,17 @@ func (a *API) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 		fmt.Fprintf(&b, "seatwin_processing_seconds{quantile=%q} %g\n", q.label, q.v.Seconds())
 	}
 	fmt.Fprintf(&b, "seatwin_processing_seconds_count %d\n", s.Latency.Count)
+	if hub := a.p.cfg.Feed; hub != nil {
+		fs := hub.Snapshot()
+		gauge("seatwin_feed_subscribers", "live feed subscribers connected", float64(fs.Subscribers))
+		counter("seatwin_feed_subscribers_total", "live feed subscribers ever connected", float64(fs.TotalSubs))
+		counter("seatwin_feed_frames_published_total", "frames entering the feed hub", float64(fs.Published))
+		counter("seatwin_feed_frames_fanned_total", "frame deliveries enqueued to subscriber rings", float64(fs.Fanned))
+		counter("seatwin_feed_frames_dropped_total", "frames evicted by drop-oldest overflow", float64(fs.Dropped))
+		counter("seatwin_feed_frames_conflated_total", "frames conflated in place by key", float64(fs.Conflated))
+		counter("seatwin_feed_disconnects_total", "slow consumers force-disconnected", float64(fs.Disconnected))
+		gauge("seatwin_feed_fanout_p99_seconds", "p99 hub fan-out latency per publish", fs.FanoutP99.Seconds())
+	}
 	w.Write([]byte(b.String()))
 }
 

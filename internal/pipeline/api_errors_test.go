@@ -1,0 +1,36 @@
+package pipeline
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"testing"
+)
+
+// TestBadQueryParamsRejected: malformed query parameters are a client
+// error (400), not a silent fallback to defaults.
+func TestBadQueryParamsRejected(t *testing.T) {
+	p := newTestPipeline(t)
+	api := NewAPI(p)
+	for _, tc := range []struct {
+		path string
+		want int
+	}{
+		{"/api/vessels?limit=abc", http.StatusBadRequest},
+		{"/api/vessels?limit=-5", http.StatusBadRequest},
+		{"/api/vessels?limit=0", http.StatusBadRequest},
+		{"/api/events?limit=nope", http.StatusBadRequest},
+		{"/api/route?from=Piraeus&to=Heraklion&length=tall", http.StatusBadRequest},
+		{"/api/route?from=Piraeus&to=Heraklion&draught=deep", http.StatusBadRequest},
+		{"/api/route?from=Piraeus&to=Heraklion&type=big", http.StatusBadRequest},
+		{"/api/route?to=Heraklion", http.StatusBadRequest}, // missing from
+		// Well-formed parameters still work.
+		{"/api/vessels?limit=5", http.StatusOK},
+		{"/api/events?limit=5", http.StatusOK},
+	} {
+		rec := httptest.NewRecorder()
+		api.Handler().ServeHTTP(rec, httptest.NewRequest("GET", tc.path, nil))
+		if rec.Code != tc.want {
+			t.Errorf("GET %s: status %d, want %d", tc.path, rec.Code, tc.want)
+		}
+	}
+}

@@ -21,6 +21,7 @@ import (
 	"seatwin/internal/broker"
 	"seatwin/internal/congestion"
 	"seatwin/internal/events"
+	"seatwin/internal/feed"
 	"seatwin/internal/hexgrid"
 	"seatwin/internal/kvstore"
 	"seatwin/internal/lvrf"
@@ -68,6 +69,13 @@ type Config struct {
 	// Patterns of Life over the API (§4.1's L-VRF, integrated "through
 	// API calls" per the paper).
 	RouteModel *lvrf.Model
+	// Feed, when non-nil, receives every vessel state and event for
+	// live fan-out to push subscribers (SSE / TCP feed): the writer
+	// actors publish onto the actor system's EventStream and the hub is
+	// attached to it (see internal/feed). For a broker-decoupled
+	// deployment attach the hub to the output topics instead with
+	// feed.Hub.ConsumeLoop and DecodeFeedRecord.
+	Feed *feed.Hub
 	// OutputBroker, when non-nil, receives dedicated output streams —
 	// the §7 plan to "leverage Kafka topics to produce streams of
 	// dedicated system, model and actor-based outputs": the writer
@@ -150,6 +158,10 @@ type Pipeline struct {
 
 	// congestion is non-nil when Config.Ports was set.
 	congestion *congestion.Monitor
+
+	// feedDetach unsubscribes the live-feed hub from the EventStream on
+	// shutdown (nil when Config.Feed was not set).
+	feedDetach func()
 }
 
 // pairShardCount stripes the pairwise-event dedup map (power of two).
@@ -260,6 +272,9 @@ func New(cfg Config) (*Pipeline, error) {
 		if err := cfg.OutputBroker.CreateTopic(p.cfg.OutputStatesTopic, 4); err != nil {
 			return nil, err
 		}
+	}
+	if cfg.Feed != nil {
+		p.feedDetach = cfg.Feed.AttachStream(p.system.Events())
 	}
 	for i := 0; i < cfg.Writers; i++ {
 		pid, err := p.system.SpawnNamed(
@@ -566,7 +581,36 @@ func (p *Pipeline) Shutdown(timeout time.Duration) {
 	close(p.samplerStop)
 	<-p.samplerDone
 	p.system.Shutdown(timeout)
+	if p.feedDetach != nil {
+		p.feedDetach()
+	}
 	if p.cfg.Store == nil {
 		p.store.Close()
+	}
+}
+
+// Feed returns the live-feed hub, or nil when not configured.
+func (p *Pipeline) Feed() *feed.Hub { return p.cfg.Feed }
+
+// DecodeFeedRecord converts one record of the seatwin-states /
+// seatwin-events output topics into a feed hub input — the adapter for
+// running a feed.Hub against the durable broker instead of embedded:
+//
+//	go hub.ConsumeLoop(statesConsumer, pipeline.DecodeFeedRecord, time.Hour)
+func DecodeFeedRecord(r broker.Record) (any, bool) {
+	switch v := r.Value.(type) {
+	case StateOutput:
+		return feed.State{
+			MMSI: v.Report.MMSI,
+			Lat:  v.Report.Lat, Lon: v.Report.Lon,
+			SOG: v.Report.SOG, COG: v.Report.COG,
+			Status:   v.Report.Status.String(),
+			TS:       v.Report.Timestamp,
+			Forecast: v.Forecast,
+		}, true
+	case events.Event:
+		return v, true
+	default:
+		return nil, false
 	}
 }
