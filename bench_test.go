@@ -361,6 +361,57 @@ func BenchmarkAblation_SharedModel(b *testing.B) {
 	})
 }
 
+// BenchmarkForecastTrack measures the vessel-actor hot path: one
+// ForecastTrack call over a HistoryLimit-deep live history, which is
+// what every position report costs once a vessel is warmed up. The
+// S-VRF variant runs the compiled fused-gate network in pooled
+// scratch; ForecastInto shows the same model without the Forecast
+// envelope the actor fan-out requires.
+func BenchmarkForecastTrack(b *testing.B) {
+	start := time.Date(2026, 7, 5, 9, 0, 0, 0, time.UTC)
+	origin := geo.Point{Lat: 37.5, Lon: 24.5}
+	history := make([]ais.PositionReport, 0, 48)
+	for i := 0; i < 48; i++ {
+		at := start.Add(time.Duration(i) * 30 * time.Second)
+		p := geo.DeadReckon(origin, 13, 120, at.Sub(start).Seconds())
+		history = append(history, ais.PositionReport{
+			MMSI: 237000001, Lat: p.Lat, Lon: p.Lon, SOG: 13, COG: 120, Timestamp: at,
+		})
+	}
+	m, err := svrf.New(svrf.DefaultConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("svrf", func(b *testing.B) {
+		fc := events.SVRFForecaster{Model: m}
+		if _, ok := fc.ForecastTrack(history); !ok {
+			b.Fatal("forecast failed")
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			fc.ForecastTrack(history)
+		}
+	})
+	b.Run("svrf-forecast-into", func(b *testing.B) {
+		w := benchWindow(b)
+		dst := m.ForecastInto(nil, w)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			dst = m.ForecastInto(dst, w)
+		}
+	})
+	b.Run("kinematic", func(b *testing.B) {
+		fc := events.NewKinematicForecaster()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			fc.ForecastTrack(history)
+		}
+	})
+}
+
 // benchWindow builds one representative preprocessed window.
 func benchWindow(b *testing.B) traj.Window {
 	b.Helper()

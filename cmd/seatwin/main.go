@@ -9,6 +9,7 @@
 //
 //	seatwin [-vessels 2000] [-region aegean|europe|global] [-model s-vrf.gob]
 //	        [-addr :8080] [-resp :6379] [-feed-tcp :9230] [-duration 0] [-seed 1]
+//	        [-pprof]
 package main
 
 import (
@@ -43,6 +44,7 @@ func main() {
 		ports     = flag.Bool("monitor-ports", false, "enable port-congestion monitoring for catalog ports in the region")
 		feedTCP   = flag.String("feed-tcp", "", "optional live-feed TCP listen address (length-prefixed JSON, e.g. 127.0.0.1:9230)")
 		feedRes   = flag.Int("feed-region-res", 7, "hexgrid resolution of live-feed region/<cell> topics")
+		pprofOn   = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ on the API address")
 	)
 	flag.Parse()
 
@@ -95,6 +97,10 @@ func main() {
 
 	// Middleware: HTTP API (+ optional RESP endpoint on the store).
 	api := pipeline.NewAPI(p)
+	if *pprofOn {
+		api.EnablePprof()
+		log.Printf("pprof endpoints on http://%s/debug/pprof/", *addr)
+	}
 	go func() {
 		if err := api.ListenAndServe(*addr); err != nil {
 			log.Printf("api: %v", err)

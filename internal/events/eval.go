@@ -85,6 +85,51 @@ func (s SVRFForecaster) ForecastTrack(history []ais.PositionReport) (Forecast, b
 	return f, true
 }
 
+// ForecastTracks forecasts every history with fc, preserving order and
+// skipping unusable histories. Forecasters with a bulk path — the
+// S-VRF adapter batches all inputs through the compiled network — are
+// detected and used; anything else falls back to per-track calls.
+func ForecastTracks(fc TrackForecaster, histories [][]ais.PositionReport) []Forecast {
+	type batcher interface {
+		ForecastTracks(histories [][]ais.PositionReport) []Forecast
+	}
+	if b, ok := fc.(batcher); ok {
+		return b.ForecastTracks(histories)
+	}
+	out := make([]Forecast, 0, len(histories))
+	for _, h := range histories {
+		if f, ok := fc.ForecastTrack(h); ok {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// ForecastTracks is the bulk form of ForecastTrack: one batched pass
+// of the compiled network over every usable history.
+func (s SVRFForecaster) ForecastTracks(histories [][]ais.PositionReport) []Forecast {
+	pts, anchors, ok := s.Model.ForecastReportsBatch(histories, 0)
+	cfg := s.Model.Config()
+	out := make([]Forecast, 0, len(histories))
+	for i := range histories {
+		if !ok[i] {
+			continue
+		}
+		anchor := anchors[i]
+		f := Forecast{MMSI: anchor.MMSI, Points: make([]ForecastPoint, 0, len(pts[i])+1)}
+		f.Points = append(f.Points, ForecastPoint{
+			Pos: geo.Point{Lat: anchor.Lat, Lon: anchor.Lon}, At: anchor.Timestamp,
+		})
+		for h, p := range pts[i] {
+			f.Points = append(f.Points, ForecastPoint{
+				Pos: p, At: anchor.Timestamp.Add(time.Duration(h+1) * cfg.HorizonStep),
+			})
+		}
+		out = append(out, f)
+	}
+	return out
+}
+
 // CollisionEvaluation is one row of the Table 2 experiment grid.
 type CollisionEvaluation struct {
 	Dataset     string
@@ -130,13 +175,13 @@ func EvaluateCollision(
 	}
 	sort.Slice(population, func(i, j int) bool { return population[i] < population[j] })
 
-	// Forecast every vessel in the population.
-	forecasts := make([]Forecast, 0, len(population))
-	for _, id := range population {
-		if f, ok := fc.ForecastTrack(ds.History[id]); ok {
-			forecasts = append(forecasts, f)
-		}
+	// Forecast every vessel in the population (batched through the
+	// compiled network when the forecaster supports it).
+	histories := make([][]ais.PositionReport, len(population))
+	for i, id := range population {
+		histories[i] = ds.History[id]
 	}
+	forecasts := ForecastTracks(fc, histories)
 
 	// All-pairs detection (the pipeline shards this by hexgrid cell;
 	// the evaluation scores the algorithm itself).

@@ -1,0 +1,50 @@
+package events
+
+import (
+	"testing"
+	"time"
+
+	"seatwin/internal/ais"
+	"seatwin/internal/geo"
+	"seatwin/internal/svrf"
+)
+
+// The vessel-actor hot path calls ForecastTrack on every position
+// report. The forecast itself must be freshly allocated — its points
+// fan out to other actors and outlive the call — but everything else
+// (input assembly, network scratch) is pooled, so the per-call
+// allocation count must stay a small constant regardless of history
+// length, not scale with the work done inside.
+func TestSVRFForecastTrackBoundedAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("sync.Pool drops Puts under the race detector; the alloc bound holds only in normal builds")
+	}
+	m, err := svrf.New(svrf.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	fc := SVRFForecaster{Model: m}
+	history := make([]ais.PositionReport, 0, 48)
+	start := geo.Point{Lat: 37, Lon: 24}
+	for i := 0; i < 48; i++ {
+		p := geo.DeadReckon(start, 14, 45, float64(i)*30)
+		history = append(history, ais.PositionReport{
+			MMSI: 1001, Lat: p.Lat, Lon: p.Lon, SOG: 14, COG: 45,
+			Timestamp: t0.Add(time.Duration(i) * 30 * time.Second),
+		})
+	}
+	if _, ok := fc.ForecastTrack(history); !ok { // compile + warm pools
+		t.Fatal("warm-up forecast failed")
+	}
+	allocs := testing.AllocsPerRun(50, func() {
+		if _, ok := fc.ForecastTrack(history); !ok {
+			t.Fatal("forecast failed")
+		}
+	})
+	// Expected steady state: the returned points slice and the forecast
+	// points slice. Anything near the old per-call count (hundreds: the
+	// reference network cache alone was 249) is a regression.
+	if allocs > 8 {
+		t.Fatalf("ForecastTrack allocates %v/op, want a small constant (<= 8)", allocs)
+	}
+}

@@ -1,0 +1,7 @@
+//go:build race
+
+package events
+
+// The race detector makes sync.Pool randomly drop Puts, so pool-backed
+// allocation bounds cannot hold under -race.
+const raceEnabled = true

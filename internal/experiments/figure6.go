@@ -135,7 +135,7 @@ func RunVTFF(tm TrainedModel, seed int64) VTFFResult {
 	histAcc := vtff.NewAccumulator(cfg)
 	actAcc := vtff.NewAccumulator(cfg)
 	fc := events.SVRFForecaster{Model: tm.Model}
-	var forecasts []events.Forecast
+	histories := make([][]ais.PositionReport, 0, len(ds.Tracks))
 	for _, tr := range ds.Tracks {
 		var hist []ais.PositionReport
 		for _, r := range tr.Reports {
@@ -147,10 +147,10 @@ func RunVTFF(tm TrainedModel, seed int64) VTFFResult {
 				actAcc.Add(r.MMSI, p, r.Timestamp)
 			}
 		}
-		if f, ok := fc.ForecastTrack(hist); ok {
-			forecasts = append(forecasts, f)
-		}
+		histories = append(histories, hist)
 	}
+	// One batched pass of the compiled network over the whole fleet.
+	forecasts := events.ForecastTracks(fc, histories)
 	history := make(map[int64]vtff.Flow)
 	for _, w := range histAcc.Windows() {
 		history[w] = histAcc.Window(w)

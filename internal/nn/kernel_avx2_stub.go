@@ -1,0 +1,11 @@
+//go:build !amd64
+
+package nn
+
+// Non-amd64 builds never select the vector kernel; the portable scalar
+// loop in compiled.go is the only GEMV path.
+const hasAVX2FMA = false
+
+func gemvHiddenAVX2(w, h, z *float64, hidden, width, in int) {
+	panic("nn: vector kernel called on a platform without it")
+}

@@ -1,0 +1,16 @@
+//go:build arm64
+
+package nn
+
+import "math"
+
+// madd is the compiled kernel's multiply-accumulate. On arm64 the
+// math.FMA intrinsic is a single FMADD instruction with no
+// feature-check branch, so fusing is free. Fusion changes rounding
+// versus the reference path's mul+add, which is why the parity
+// contract is 1e-12 rather than bit equality. (On amd64 this was
+// measured, not assumed: GOAMD64=v3 VFMADD came out slightly slower
+// than the plain mul+add form — the GEMV there is load-bound — and
+// under the default GOAMD64=v1 every math.FMA call site carries a
+// runtime feature branch, so amd64 keeps the generic kernel.)
+func madd(a, b, acc float64) float64 { return math.FMA(a, b, acc) }

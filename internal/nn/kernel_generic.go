@@ -1,0 +1,11 @@
+//go:build !arm64
+
+package nn
+
+// madd is the compiled kernel's multiply-accumulate. On amd64,
+// math.FMA compiles to a per-call-site feature-check branch under the
+// default GOAMD64=v1 and measured slightly slower even as branchless
+// VFMADD under v3 (the GEMV is load-bound, and the plain form's
+// MULSD-from-memory micro-fuses), so everything except arm64 uses the
+// plain two-op form.
+func madd(a, b, acc float64) float64 { return acc + a*b }

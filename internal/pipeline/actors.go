@@ -96,13 +96,17 @@ func (v *vesselActor) onPosition(c *actor.Context, m posMsg) {
 		v.history = append(v.history[:0:0], v.history[drop:]...)
 	}
 
-	// Forecast with the shared model.
+	// Forecast with the shared model. The call is timed separately from
+	// the whole message so operators can see how much of the processing
+	// budget is model inference (seatwin_svrf_infer_seconds).
 	var forecast events.Forecast
 	haveForecast := false
+	inferStart := time.Now()
 	if f, ok := v.p.cfg.Forecaster.ForecastTrack(v.history); ok {
 		forecast = f
 		haveForecast = true
 		v.p.forecasts.Inc(uint64(v.mmsi), 1)
+		v.p.inferLat.Observe(uint64(v.mmsi), time.Since(inferStart))
 	}
 
 	if mon := v.p.congestion; mon != nil {

@@ -6,6 +6,7 @@ import (
 	"log"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"sort"
 	"strconv"
 	"strings"
@@ -20,6 +21,7 @@ import (
 type API struct {
 	p   *Pipeline
 	srv *http.Server
+	mux *http.ServeMux
 
 	mu sync.Mutex
 	ln net.Listener
@@ -29,6 +31,7 @@ type API struct {
 func NewAPI(p *Pipeline) *API {
 	a := &API{p: p}
 	mux := http.NewServeMux()
+	a.mux = mux
 	mux.HandleFunc("/api/health", a.handleHealth)
 	mux.HandleFunc("/api/stats", a.handleStats)
 	mux.HandleFunc("/api/vessels", a.handleVessels)
@@ -70,6 +73,19 @@ func (a *API) Addr() net.Addr {
 
 // Close shuts the server down.
 func (a *API) Close() error { return a.srv.Close() }
+
+// EnablePprof mounts the net/http/pprof handlers under /debug/pprof/
+// on the API mux. Off by default: profiling endpoints expose internals
+// (and a CPU-profile request costs real cycles), so deployments opt in
+// explicitly (the seatwin binary's -pprof flag). Call before
+// ListenAndServe.
+func (a *API) EnablePprof() {
+	a.mux.HandleFunc("/debug/pprof/", pprof.Index)
+	a.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	a.mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	a.mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	a.mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+}
 
 func writeJSON(w http.ResponseWriter, v any) {
 	w.Header().Set("Content-Type", "application/json")
@@ -123,6 +139,8 @@ func (a *API) handleStats(w http.ResponseWriter, _ *http.Request) {
 		"latency_mean": s.Latency.Mean.String(),
 		"latency_p95":  s.Latency.P95.String(),
 		"latency_p99":  s.Latency.P99.String(),
+		"infer_mean":   s.InferLatency.Mean.String(),
+		"infer_p99":    s.InferLatency.P99.String(),
 	})
 }
 
@@ -367,6 +385,15 @@ func (a *API) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 		fmt.Fprintf(&b, "seatwin_processing_seconds{quantile=%q} %g\n", q.label, q.v.Seconds())
 	}
 	fmt.Fprintf(&b, "seatwin_processing_seconds_count %d\n", s.Latency.Count)
+	fmt.Fprintf(&b, "# HELP seatwin_svrf_infer_seconds model inference time within vessel-actor processing\n")
+	fmt.Fprintf(&b, "# TYPE seatwin_svrf_infer_seconds summary\n")
+	for _, q := range []struct {
+		label string
+		v     time.Duration
+	}{{"0.5", s.InferLatency.P50}, {"0.95", s.InferLatency.P95}, {"0.99", s.InferLatency.P99}} {
+		fmt.Fprintf(&b, "seatwin_svrf_infer_seconds{quantile=%q} %g\n", q.label, q.v.Seconds())
+	}
+	fmt.Fprintf(&b, "seatwin_svrf_infer_seconds_count %d\n", s.InferLatency.Count)
 	if hub := a.p.cfg.Feed; hub != nil {
 		fs := hub.Snapshot()
 		gauge("seatwin_feed_subscribers", "live feed subscribers connected", float64(fs.Subscribers))

@@ -132,6 +132,7 @@ type Pipeline struct {
 	// the accumulator into the Figure 6 moving-average series — no global
 	// lock is taken while processing a message.
 	latency       *metrics.ShardedLatencyRecorder
+	inferLat      *metrics.ShardedLatencyRecorder // model-inference slice of processing
 	procAcc       *metrics.ShardedAccumulator
 	procMu        sync.Mutex // guards movingAvg + series (sampler vs readers)
 	movingAvg     *metrics.MovingAverage
@@ -243,6 +244,7 @@ func New(cfg Config) (*Pipeline, error) {
 		store:       store,
 		log:         events.NewLog(1 << 14),
 		latency:     metrics.NewShardedLatencyRecorder(0, 1<<15),
+		inferLat:    metrics.NewShardedLatencyRecorder(0, 1<<15),
 		procAcc:     metrics.NewShardedAccumulator(0),
 		movingAvg:   metrics.NewMovingAverage(cfg.MetricsWindow),
 		sampleGap:   500,
@@ -506,19 +508,24 @@ type Stats struct {
 	Forecasts  int64
 	LiveActors int64
 	Latency    metrics.Snapshot
-	Events     int64
-	DeadLetter uint64
+	// InferLatency is the model-inference slice of Latency: the time
+	// vessel actors spend inside ForecastTrack for forecasts that
+	// actually ran the model.
+	InferLatency metrics.Snapshot
+	Events       int64
+	DeadLetter   uint64
 }
 
 // Stats snapshots the pipeline counters.
 func (p *Pipeline) Stats() Stats {
 	return Stats{
-		Messages:   p.messages.Value(),
-		Forecasts:  p.forecasts.Value(),
-		LiveActors: p.system.LiveActors(),
-		Latency:    p.latency.Snapshot(),
-		Events:     p.log.Total(),
-		DeadLetter: p.system.StatsSnapshot().DeadLetters,
+		Messages:     p.messages.Value(),
+		Forecasts:    p.forecasts.Value(),
+		LiveActors:   p.system.LiveActors(),
+		Latency:      p.latency.Snapshot(),
+		InferLatency: p.inferLat.Snapshot(),
+		Events:       p.log.Total(),
+		DeadLetter:   p.system.StatsSnapshot().DeadLetters,
 	}
 }
 

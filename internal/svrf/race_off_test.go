@@ -1,0 +1,5 @@
+//go:build !race
+
+package svrf
+
+const raceEnabled = false

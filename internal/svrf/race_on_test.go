@@ -1,0 +1,7 @@
+//go:build race
+
+package svrf
+
+// The race detector makes sync.Pool randomly drop Puts, so pool-backed
+// zero-allocation guarantees cannot hold under -race.
+const raceEnabled = true

@@ -13,6 +13,7 @@ package svrf
 
 import (
 	"io"
+	"sync/atomic"
 	"time"
 
 	"seatwin/internal/ais"
@@ -49,16 +50,26 @@ func (k Kinematic) Name() string { return "Linear Kinematic Model" }
 
 // Forecast implements Predictor.
 func (k Kinematic) Forecast(w traj.Window) []geo.Point {
-	out := make([]geo.Point, 0, k.Horizons)
+	return k.ForecastInto(nil, w)
+}
+
+// ForecastInto is Forecast into a caller-provided buffer, reused when
+// it has the capacity for Horizons positions.
+func (k Kinematic) ForecastInto(dst []geo.Point, w traj.Window) []geo.Point {
+	if cap(dst) >= k.Horizons {
+		dst = dst[:k.Horizons]
+	} else {
+		dst = make([]geo.Point, k.Horizons)
+	}
 	sog, cog := w.LastSOG, w.LastCOG
 	if sog < 0 {
 		sog = 0
 	}
 	for h := 1; h <= k.Horizons; h++ {
 		dt := time.Duration(h) * k.HorizonStep
-		out = append(out, geo.DeadReckon(w.LastPos, sog, cog, dt.Seconds()))
+		dst[h-1] = geo.DeadReckon(w.LastPos, sog, cog, dt.Seconds())
 	}
-	return out
+	return dst
 }
 
 // Config shapes the S-VRF network. Defaults follow the paper's reduced
@@ -94,6 +105,26 @@ func DefaultConfig() Config {
 type Model struct {
 	cfg Config
 	net *nn.SeqRegressor
+	// compiled caches the fused inference snapshot of the current
+	// weights (built lazily on first forecast, invalidated by Train).
+	// Forecasting goes through it instead of the reference Predict, so
+	// the vessel-actor hot path runs the zero-allocation kernel.
+	compiled atomic.Pointer[nn.Compiled]
+}
+
+// compiledNet returns the inference snapshot, compiling on first use.
+// Concurrent first calls may compile twice; one snapshot wins the CAS
+// and the loser is dropped, which is cheaper than a mutex on the path
+// every forecast takes.
+func (m *Model) compiledNet() *nn.Compiled {
+	if c := m.compiled.Load(); c != nil {
+		return c
+	}
+	c := m.net.Compile()
+	if m.compiled.CompareAndSwap(nil, c) {
+		return c
+	}
+	return m.compiled.Load()
 }
 
 // New builds an untrained model.
@@ -125,8 +156,20 @@ func (m *Model) Config() Config { return m.cfg }
 
 // Forecast implements Predictor.
 func (m *Model) Forecast(w traj.Window) []geo.Point {
-	out := m.net.Predict(w.Input)
-	return traj.PredictedPositions(w.LastPos, out)
+	return m.ForecastInto(nil, w)
+}
+
+// ForecastInto is Forecast into a caller-provided buffer: the compiled
+// network runs in pooled scratch and the positions are written into
+// dst (reused when it has capacity for Horizons points). Steady-state
+// calls with a warm dst do not allocate.
+func (m *Model) ForecastInto(dst []geo.Point, w traj.Window) []geo.Point {
+	c := m.compiledNet()
+	s := c.GetScratch()
+	out := c.PredictInto(nil, w.Input, s)
+	dst = traj.PredictedPositionsInto(dst, w.LastPos, out)
+	c.PutScratch(s)
+	return dst
 }
 
 // ForecastReports runs the live on-stream path: it converts the most
@@ -135,12 +178,63 @@ func (m *Model) Forecast(w traj.Window) []geo.Point {
 // anchor so callers can timestamp the forecast points correctly. ok is
 // false when the history is too short.
 func (m *Model) ForecastReports(reports []ais.PositionReport) (pts []geo.Point, anchor ais.PositionReport, ok bool) {
-	input, anchor, ok := traj.InputFromReports(reports, m.cfg.InputSteps, m.cfg.Downsample)
+	return m.ForecastReportsInto(nil, reports)
+}
+
+// ForecastReportsInto is ForecastReports into a caller-provided
+// position buffer. The model input is assembled in a pooled
+// traj.InputBuffer and inference runs in pooled scratch, so with a
+// warm dst the per-report cost of the vessel-actor hot path is
+// allocation-free.
+func (m *Model) ForecastReportsInto(dst []geo.Point, reports []ais.PositionReport) (pts []geo.Point, anchor ais.PositionReport, ok bool) {
+	b := traj.GetInputBuffer()
+	input, anchor, ok := b.InputFromReports(reports, m.cfg.InputSteps, m.cfg.Downsample)
 	if !ok {
+		traj.PutInputBuffer(b)
 		return nil, ais.PositionReport{}, false
 	}
-	out := m.net.Predict(input)
-	return traj.PredictedPositions(geo.Point{Lat: anchor.Lat, Lon: anchor.Lon}, out), anchor, true
+	c := m.compiledNet()
+	s := c.GetScratch()
+	out := c.PredictInto(nil, input, s)
+	pts = traj.PredictedPositionsInto(dst, geo.Point{Lat: anchor.Lat, Lon: anchor.Lon}, out)
+	c.PutScratch(s)
+	traj.PutInputBuffer(b)
+	return pts, anchor, true
+}
+
+// ForecastReportsBatch runs ForecastReports over many vessels' report
+// histories at once, pushing every usable input through the compiled
+// network's batch path (the bulk shape of the Figure 6 replay and the
+// VTFF rasterisation). workers follows nn.(*Compiled).PredictBatch
+// semantics: <= 0 picks a sensible worker count, 1 stays sequential.
+// The returned slices are indexed like histories; ok[i] is false when
+// history i was too short to forecast, in which case pts[i] is nil.
+func (m *Model) ForecastReportsBatch(histories [][]ais.PositionReport, workers int) (pts [][]geo.Point, anchors []ais.PositionReport, ok []bool) {
+	pts = make([][]geo.Point, len(histories))
+	anchors = make([]ais.PositionReport, len(histories))
+	ok = make([]bool, len(histories))
+	seqs := make([][][]float64, 0, len(histories))
+	idx := make([]int, 0, len(histories))
+	for i, h := range histories {
+		// Inputs must all be alive for the batch call, so they are built
+		// with the allocating path rather than a shared pooled buffer.
+		input, anchor, good := traj.InputFromReports(h, m.cfg.InputSteps, m.cfg.Downsample)
+		if !good {
+			continue
+		}
+		anchors[i] = anchor
+		ok[i] = true
+		seqs = append(seqs, input)
+		idx = append(idx, i)
+	}
+	if len(seqs) == 0 {
+		return pts, anchors, ok
+	}
+	outs := m.compiledNet().PredictBatch(nil, seqs, workers)
+	for j, i := range idx {
+		pts[i] = traj.PredictedPositionsInto(nil, geo.Point{Lat: anchors[i].Lat, Lon: anchors[i].Lon}, outs[j])
+	}
+	return pts, anchors, ok
 }
 
 // TrainOptions controls Train.
@@ -166,7 +260,7 @@ func (m *Model) Train(windows []traj.Window, opt TrainOptions) float64 {
 	for i, w := range windows {
 		samples[i] = nn.Sample{Seq: w.Input, Target: w.Target}
 	}
-	return m.net.Fit(samples, nn.FitOptions{
+	loss := m.net.Fit(samples, nn.FitOptions{
 		Epochs:    opt.Epochs,
 		BatchSize: opt.BatchSize,
 		LR:        opt.LR,
@@ -174,6 +268,12 @@ func (m *Model) Train(windows []traj.Window, opt TrainOptions) float64 {
 		Seed:      opt.Seed,
 		Progress:  opt.Progress,
 	})
+	// The weights moved; drop the stale inference snapshot. The next
+	// forecast recompiles from the new weights. Forecasts already in
+	// flight keep using the old snapshot safely — it shares no storage
+	// with the live network.
+	m.compiled.Store(nil)
+	return loss
 }
 
 // ValidationMSE returns the network loss on held-out windows.
@@ -218,8 +318,28 @@ func EvaluateADE(p Predictor, windows []traj.Window) *metrics.DisplacementError 
 	}
 	horizons := len(windows[0].Truth)
 	de := metrics.NewDisplacementError(horizons)
+	// Predictors with a buffer-reusing variant (the S-VRF model and the
+	// kinematic baseline both have one) are scored through it, so bulk
+	// evaluation over tens of thousands of windows reuses one position
+	// buffer instead of allocating per window.
+	type intoForecaster interface {
+		ForecastInto(dst []geo.Point, w traj.Window) []geo.Point
+	}
+	var (
+		buf  []geo.Point
+		into intoForecaster
+	)
+	if f, ok := p.(intoForecaster); ok {
+		into = f
+	}
 	for _, w := range windows {
-		pred := p.Forecast(w)
+		var pred []geo.Point
+		if into != nil {
+			buf = into.ForecastInto(buf, w)
+			pred = buf
+		} else {
+			pred = p.Forecast(w)
+		}
 		for h := 0; h < horizons && h < len(pred); h++ {
 			de.Add(h, geo.Haversine(pred[h], w.Truth[h]))
 		}

@@ -8,6 +8,7 @@ package traj
 import (
 	"math/rand"
 	"sort"
+	"sync"
 	"time"
 
 	"seatwin/internal/ais"
@@ -62,16 +63,24 @@ func Downsample(reports []ais.PositionReport, minGap time.Duration) []ais.Positi
 	if len(reports) == 0 {
 		return nil
 	}
-	out := make([]ais.PositionReport, 0, len(reports))
-	out = append(out, reports[0])
+	return downsampleAppend(make([]ais.PositionReport, 0, len(reports)), reports, minGap)
+}
+
+// downsampleAppend is Downsample into a caller-provided buffer: kept
+// reports are appended to dst (usually dst[:0] of a reused slice).
+func downsampleAppend(dst []ais.PositionReport, reports []ais.PositionReport, minGap time.Duration) []ais.PositionReport {
+	if len(reports) == 0 {
+		return dst
+	}
+	dst = append(dst, reports[0])
 	last := reports[0].Timestamp
 	for _, r := range reports[1:] {
 		if r.Timestamp.Sub(last) >= minGap {
-			out = append(out, r)
+			dst = append(dst, r)
 			last = r.Timestamp
 		}
 	}
-	return out
+	return dst
 }
 
 // Window is one training/evaluation example cut from a trajectory.
@@ -179,13 +188,25 @@ func buildOne(seg []ais.PositionReport, raw []ais.PositionReport, cfg Config) (W
 // PredictedPositions converts a model output vector (2*Horizons scaled
 // transitions) into absolute positions starting from the anchor.
 func PredictedPositions(anchor geo.Point, output []float64) []geo.Point {
-	out := make([]geo.Point, 0, len(output)/2)
-	cur := anchor
-	for i := 0; i+1 < len(output); i += 2 {
-		cur = geo.Offset(cur, output[i]/DegScale, output[i+1]/DegScale)
-		out = append(out, cur)
+	return PredictedPositionsInto(nil, anchor, output)
+}
+
+// PredictedPositionsInto is PredictedPositions into a caller-provided
+// buffer: dst is resized to len(output)/2 positions, reusing its
+// backing array when it has the capacity. It returns the filled slice.
+func PredictedPositionsInto(dst []geo.Point, anchor geo.Point, output []float64) []geo.Point {
+	n := len(output) / 2
+	if cap(dst) >= n {
+		dst = dst[:n]
+	} else {
+		dst = make([]geo.Point, n)
 	}
-	return out
+	cur := anchor
+	for i := 0; i < n; i++ {
+		cur = geo.Offset(cur, output[2*i]/DegScale, output[2*i+1]/DegScale)
+		dst[i] = cur
+	}
+	return dst
 }
 
 // MinLiveReports is the fewest downsampled reports a live vessel needs
@@ -202,40 +223,98 @@ const MinLiveReports = 6
 // downsampled reports are left-padded by repeating the earliest feature
 // row; below MinLiveReports ok is false.
 func InputFromReports(reports []ais.PositionReport, steps int, downsample time.Duration) (input [][]float64, anchor ais.PositionReport, ok bool) {
-	ds := Downsample(reports, downsample)
+	return (&InputBuffer{}).InputFromReports(reports, steps, downsample)
+}
+
+// InputBuffer holds the scratch storage of InputFromReports — the
+// downsampling buffer, the row headers and one flat backing array for
+// every feature row — so the vessel-actor hot path can rebuild a model
+// input on every report without allocating. Buffers are not safe for
+// concurrent use; draw one per goroutine from GetInputBuffer, or keep
+// one per actor. The input returned by InputFromReports aliases the
+// buffer and is valid until the next call or until the buffer is
+// returned to the pool.
+type InputBuffer struct {
+	ds   []ais.PositionReport
+	rows [][]float64
+	flat []float64
+}
+
+var inputPool = sync.Pool{New: func() any { return new(InputBuffer) }}
+
+// GetInputBuffer draws a reusable input buffer from a process-wide pool.
+func GetInputBuffer() *InputBuffer { return inputPool.Get().(*InputBuffer) }
+
+// PutInputBuffer returns a buffer to the pool. The caller must be done
+// with every input slice the buffer produced.
+func PutInputBuffer(b *InputBuffer) { inputPool.Put(b) }
+
+// InputFromReports is the package-level InputFromReports built inside
+// the receiver's reused storage: after the buffer has warmed up to the
+// caller's history length it performs no allocations.
+func (b *InputBuffer) InputFromReports(reports []ais.PositionReport, steps int, downsample time.Duration) (input [][]float64, anchor ais.PositionReport, ok bool) {
+	b.ds = downsampleAppend(b.ds[:0], reports, downsample)
+	ds := b.ds
 	if len(ds) < MinLiveReports {
 		return nil, ais.PositionReport{}, false
 	}
 	if len(ds) > steps+1 {
 		ds = ds[len(ds)-steps-1:]
 	}
-	rows := make([][]float64, 0, steps)
-	for i := 0; i+1 < len(ds); i++ {
-		row, rowOK := featureRow(ds[i], ds[i+1], 0)
-		if !rowOK {
+	if cap(b.rows) >= steps {
+		b.rows = b.rows[:steps]
+	} else {
+		b.rows = make([][]float64, steps)
+	}
+	if cap(b.flat) >= 3*steps {
+		b.flat = b.flat[:3*steps]
+	} else {
+		b.flat = make([]float64, 3*steps)
+	}
+	// Build the real rows right-aligned in the fixed tensor, then
+	// left-pad by repeating the earliest real row (sharing its storage,
+	// exactly as the allocating path shares the prepended row header).
+	n := len(ds) - 1
+	pad := steps - n
+	for i := 0; i < n; i++ {
+		row := b.flat[3*(pad+i) : 3*(pad+i)+3]
+		if !featureRowInto(row, ds[i], ds[i+1], 0) {
 			return nil, ais.PositionReport{}, false
 		}
-		rows = append(rows, row)
+		b.rows[pad+i] = row
 	}
-	for len(rows) < steps {
-		rows = append([][]float64{rows[0]}, rows...)
+	for j := 0; j < pad; j++ {
+		b.rows[j] = b.rows[pad]
 	}
-	return rows, ds[len(ds)-1], true
+	return b.rows, ds[len(ds)-1], true
 }
 
 // featureRow builds one input row from two consecutive reports:
 // (vlat*VelScale, vlon*VelScale, dt/DtScale) where the velocities are
 // in degrees per minute. maxGap of 0 disables the gap check.
 func featureRow(a, b ais.PositionReport, maxGap time.Duration) ([]float64, bool) {
+	row := make([]float64, 3)
+	if !featureRowInto(row, a, b, maxGap) {
+		return nil, false
+	}
+	return row, true
+}
+
+// featureRowInto writes the feature row for the report pair into dst,
+// which must have length 3. It reports whether the pair is usable.
+func featureRowInto(dst []float64, a, b ais.PositionReport, maxGap time.Duration) bool {
 	dt := b.Timestamp.Sub(a.Timestamp)
 	if dt <= 0 || (maxGap > 0 && dt > maxGap) {
-		return nil, false
+		return false
 	}
 	dLat, dLon := geo.Displacement(
 		geo.Point{Lat: a.Lat, Lon: a.Lon},
 		geo.Point{Lat: b.Lat, Lon: b.Lon})
 	mins := dt.Minutes()
-	return []float64{dLat / mins * VelScale, dLon / mins * VelScale, dt.Seconds() / DtScale}, true
+	dst[0] = dLat / mins * VelScale
+	dst[1] = dLon / mins * VelScale
+	dst[2] = dt.Seconds() / DtScale
+	return true
 }
 
 // Split shuffles windows with the seed and divides them into
