@@ -9,7 +9,7 @@
 //
 //	seatwin [-vessels 2000] [-region aegean|europe|global] [-model s-vrf.gob]
 //	        [-addr :8080] [-resp :6379] [-feed-tcp :9230] [-duration 0] [-seed 1]
-//	        [-pprof]
+//	        [-pprof] [-chaos error=0.1,latency=5ms] [-checkpoint-every 16]
 package main
 
 import (
@@ -21,6 +21,7 @@ import (
 
 	"seatwin/internal/ais"
 	"seatwin/internal/broker"
+	"seatwin/internal/chaos"
 	"seatwin/internal/congestion"
 	"seatwin/internal/events"
 	"seatwin/internal/feed"
@@ -28,6 +29,7 @@ import (
 	"seatwin/internal/geo"
 	"seatwin/internal/kvstore"
 	"seatwin/internal/pipeline"
+	"seatwin/internal/retry"
 	"seatwin/internal/svrf"
 )
 
@@ -45,8 +47,22 @@ func main() {
 		feedTCP   = flag.String("feed-tcp", "", "optional live-feed TCP listen address (length-prefixed JSON, e.g. 127.0.0.1:9230)")
 		feedRes   = flag.Int("feed-region-res", 7, "hexgrid resolution of live-feed region/<cell> topics")
 		pprofOn   = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ on the API address")
+		chaosSpec = flag.String("chaos", "", "fault-injection spec, e.g. error=0.1,latency=5ms,panic=0.001,truncate=0.01,seed=7 (empty = off)")
+		ckptEvery = flag.Int("checkpoint-every", 0, "reports between vessel history checkpoints (0 = 16; negative = disable checkpointing)")
 	)
 	flag.Parse()
+
+	var injector *chaos.Injector
+	if *chaosSpec != "" {
+		policy, err := chaos.ParseSpec(*chaosSpec)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if policy.Enabled() {
+			injector = chaos.New(policy)
+			log.Printf("chaos enabled: %+v", policy)
+		}
+	}
 
 	var box geo.BBox
 	switch *region {
@@ -81,6 +97,8 @@ func main() {
 	hub := feed.NewHub(feed.Options{RegionResolution: *feedRes})
 	defer hub.Close()
 	cfg.Feed = hub
+	cfg.Chaos = injector
+	cfg.CheckpointInterval = *ckptEvery
 	if *ports {
 		for _, pt := range fleetsim.PortsWithin(regionOrGlobal(box)) {
 			cfg.Ports = append(cfg.Ports, congestion.Port{
@@ -153,7 +171,11 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		go p.ConsumeLoop(c, time.Hour)
+		var rc pipeline.RecordConsumer = c
+		if injector != nil {
+			rc = chaos.WrapConsumer(c, injector)
+		}
+		go p.ConsumeLoop(rc, time.Hour)
 	}
 
 	world := fleetsim.NewWorld(fleetsim.Config{
@@ -163,6 +185,16 @@ func main() {
 		KeepSailing: true,
 	})
 	log.Printf("simulating %d vessels (%s)", *vessels, *region)
+
+	// Produce through the chaos wrapper (when enabled) and a bounded
+	// retry: a transient produce fault costs a few capped sleeps and,
+	// on exhaustion, drops that one report — never the whole process.
+	produce := br.Produce
+	if injector != nil {
+		produce = chaos.WrapProducer(br, injector).Produce
+	}
+	producePolicy := retry.DefaultPolicy()
+	var produceDropped int64
 
 	stop := time.Now().Add(*duration)
 	statsEvery := time.Now().Add(5 * time.Second)
@@ -174,8 +206,22 @@ func main() {
 			log.Printf("simulation drained")
 			break
 		}
-		if _, _, err := br.Produce(topic, r.Pos.MMSI.String(), r.Pos); err != nil {
-			log.Fatal(err)
+		if res := producePolicy.Do(func() (err error) {
+			// A panic out of the produce path (an injected chaos fault,
+			// or a genuinely broken broker) is one failed attempt, not a
+			// process crash — same contract as the consume loop.
+			defer func() {
+				if rec := recover(); rec != nil {
+					err = fmt.Errorf("produce panicked: %v", rec)
+				}
+			}()
+			_, _, err = produce(topic, r.Pos.MMSI.String(), r.Pos)
+			return err
+		}); res.Err != nil {
+			produceDropped++
+			if produceDropped == 1 || produceDropped%1000 == 0 {
+				log.Printf("produce: dropped %d reports (last: %v)", produceDropped, res.Err)
+			}
 		}
 		if time.Now().After(statsEvery) {
 			s := p.Stats()

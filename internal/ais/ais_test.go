@@ -478,3 +478,47 @@ func BenchmarkParseSentence(b *testing.B) {
 		}
 	}
 }
+
+// TestDecodeAntimeridianLongitude: the AIS wire format legally encodes
+// the antimeridian as +180 degrees, but geo.Point's longitude domain is
+// half-open [-180, 180). Decoding must wrap the +180 encoding to -180
+// while leaving near-boundary values and the 181 "not available"
+// sentinel untouched.
+func TestDecodeAntimeridianLongitude(t *testing.T) {
+	cases := []struct {
+		name    string
+		in      float64
+		wantLon float64
+	}{
+		{"wire +180 wraps to -180", 180, -180},
+		{"-180 passes through", -180, -180},
+		{"just east of the line stays positive", 179.9999, 179.9999},
+		{"just west of the line stays negative", -179.9999, -179.9999},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			p := samplePosition()
+			p.Lon = tc.in
+			buf, nbit, err := EncodePosition(p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			m, err := Decode(buf, nbit, refTime)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := m.(PositionReport).Lon
+			if diff := got - tc.wantLon; diff > 1e-4 || diff < -1e-4 {
+				t.Fatalf("decoded lon = %v, want %v", got, tc.wantLon)
+			}
+			if got >= 180 || got < -180 {
+				t.Fatalf("decoded lon %v outside [-180, 180)", got)
+			}
+		})
+	}
+	// The unavailable sentinel (181 degrees) must not be wrapped into
+	// the valid domain.
+	if got := decodeLon(lonUnavailable); got != 181 {
+		t.Fatalf("sentinel decoded as %v, want 181", got)
+	}
+}

@@ -288,7 +288,7 @@ func decodeClassA(r *bitReader, nbit int, receivedAt time.Time) (Message, error)
 	p.ROT = decodeROT(r.readInt(8))
 	p.SOG = decodeSOG(r.readUint(10))
 	r.readUint(1) // accuracy
-	p.Lon = float64(r.readInt(28)) / lonScale
+	p.Lon = decodeLon(r.readInt(28))
 	p.Lat = float64(r.readInt(27)) / latScale
 	p.COG = decodeCOG(r.readUint(12))
 	p.Heading = decodeHeading(r.readUint(9))
@@ -312,7 +312,7 @@ func decodeClassB(r *bitReader, nbit int, receivedAt time.Time) (Message, error)
 	r.readUint(8) // reserved
 	p.SOG = decodeSOG(r.readUint(10))
 	r.readUint(1) // accuracy
-	p.Lon = float64(r.readInt(28)) / lonScale
+	p.Lon = decodeLon(r.readInt(28))
 	p.Lat = float64(r.readInt(27)) / latScale
 	p.COG = decodeCOG(r.readUint(12))
 	p.Heading = decodeHeading(r.readUint(9))
@@ -347,6 +347,21 @@ func decodeStatic(r *bitReader, nbit int) (Message, error) {
 		return nil, fmt.Errorf("ais: truncated static voyage")
 	}
 	return s, nil
+}
+
+// decodeLon converts the raw 1/10000-arc-minute longitude field to
+// degrees in geo.Point's half-open [-180, 180) domain. The AIS wire
+// format legally encodes the antimeridian as +180, which is the same
+// meridian as -180; it is wrapped here so every decoded in-domain
+// position satisfies geo.Point.Valid. The 181-degree "not available"
+// sentinel (and any other garbage) passes through unwrapped so it
+// still reads as invalid downstream.
+func decodeLon(v int64) float64 {
+	lon := float64(v) / lonScale
+	if lon == 180 {
+		return -180
+	}
+	return lon
 }
 
 func decodeSOG(v uint64) float64 {

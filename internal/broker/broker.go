@@ -37,7 +37,6 @@ type Record struct {
 // survive head truncation (retention).
 type partition struct {
 	mu      sync.Mutex
-	cond    *sync.Cond
 	base    int64 // offset of records[0]
 	records []Record
 	// disk, when non-nil, receives every appended record (durable
@@ -46,9 +45,7 @@ type partition struct {
 }
 
 func newPartition() *partition {
-	p := &partition{}
-	p.cond = sync.NewCond(&p.mu)
-	return p
+	return &partition{}
 }
 
 func (p *partition) append(r Record) (int64, error) {
@@ -57,7 +54,6 @@ func (p *partition) append(r Record) (int64, error) {
 	p.records = append(p.records, r)
 	disk := p.disk
 	p.mu.Unlock()
-	p.cond.Broadcast()
 	if disk != nil {
 		if err := disk.append(r); err != nil {
 			return r.Offset, fmt.Errorf("broker: segment append: %w", err)
@@ -112,6 +108,31 @@ type topic struct {
 
 	groupMu sync.Mutex
 	groups  map[string]*group
+
+	// wake is the close-and-replace broadcast channel blocking Polls
+	// wait on: broadcast closes the current channel (waking every
+	// waiter) and installs a fresh one for the next round.
+	wakeMu sync.Mutex
+	wake   chan struct{}
+}
+
+// wakeCh returns the channel the next broadcast will close. A waiter
+// must capture it BEFORE checking for data: an append that lands
+// between the check and the wait then closes the already-captured
+// channel, so the wakeup cannot be lost.
+func (t *topic) wakeCh() <-chan struct{} {
+	t.wakeMu.Lock()
+	defer t.wakeMu.Unlock()
+	return t.wake
+}
+
+// broadcast wakes every Poll blocked on the topic (new data, or a
+// membership change that may have handed a waiter new partitions).
+func (t *topic) broadcast() {
+	t.wakeMu.Lock()
+	close(t.wake)
+	t.wake = make(chan struct{})
+	t.wakeMu.Unlock()
 }
 
 // group tracks committed offsets and membership for one consumer group
@@ -151,7 +172,7 @@ func (b *Broker) CreateTopic(name string, partitions int) error {
 		}
 		return nil
 	}
-	t := &topic{name: name, groups: make(map[string]*group), broker: b}
+	t := &topic{name: name, groups: make(map[string]*group), broker: b, wake: make(chan struct{})}
 	for i := 0; i < partitions; i++ {
 		t.partitions = append(t.partitions, newPartition())
 	}
@@ -199,6 +220,9 @@ func (b *Broker) Produce(topicName, key string, value any) (partitionIdx int, of
 		Value:     value,
 		Timestamp: time.Now(),
 	})
+	// Even a failed segment write leaves the record readable in memory,
+	// so waiters are woken unconditionally.
+	t.broadcast()
 	return partitionIdx, offset, err
 }
 
@@ -273,6 +297,7 @@ type Consumer struct {
 	assigned  []int
 	positions map[int]int64 // in-flight read positions per partition
 	closed    bool
+	closeCh   chan struct{} // closed by Close, unblocking a waiting Poll
 	mu        sync.Mutex
 }
 
@@ -292,10 +317,14 @@ func (b *Broker) Subscribe(topicName, groupName string) (*Consumer, error) {
 		group:     g,
 		groupName: groupName,
 		positions: make(map[int]int64),
+		closeCh:   make(chan struct{}),
 	}
 	g.nextID++
 	g.members = append(g.members, c)
 	g.rebalanceLocked(len(t.partitions))
+	// Wake blocked members: the rebalance may have handed them
+	// partitions that already hold data.
+	t.broadcast()
 	return c, nil
 }
 
@@ -331,28 +360,30 @@ func (c *Consumer) Assignment() []int {
 // Poll returns up to max records from the consumer's assigned
 // partitions, waiting up to wait for data. It advances the in-flight
 // position but not the committed offset; call Commit after processing.
+//
+// An empty poll blocks on the topic's broadcast channel — no sleeping
+// or spinning — and wakes on the next Produce, on a group membership
+// change, or when Close unblocks it. The wake channel is captured
+// before the data check, so an append racing the wait is never missed.
 func (c *Consumer) Poll(max int, wait time.Duration) []Record {
-	deadline := time.Now().Add(wait)
+	timer := time.NewTimer(wait)
+	defer timer.Stop()
 	for {
+		wake := c.topic.wakeCh()
 		if recs := c.pollOnce(max); len(recs) > 0 {
 			return recs
 		}
-		remaining := time.Until(deadline)
-		if remaining <= 0 {
-			return nil
-		}
-		// Wait on the first assigned partition's cond with a timeout
-		// tick; a coarse 1ms sleep keeps the implementation simple and
-		// is negligible against AIS inter-arrival times.
-		sleep := time.Millisecond
-		if remaining < sleep {
-			sleep = remaining
-		}
-		time.Sleep(sleep)
 		c.mu.Lock()
 		closed := c.closed
 		c.mu.Unlock()
 		if closed {
+			return nil
+		}
+		select {
+		case <-wake:
+		case <-timer.C:
+			return nil
+		case <-c.closeCh:
 			return nil
 		}
 	}
@@ -413,10 +444,16 @@ func (c *Consumer) Commit() {
 	}
 }
 
-// Close leaves the group, triggering a rebalance.
+// Close leaves the group, triggering a rebalance. A Poll blocked on
+// the topic is unblocked immediately.
 func (c *Consumer) Close() {
 	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return
+	}
 	c.closed = true
+	close(c.closeCh)
 	c.mu.Unlock()
 	c.group.mu.Lock()
 	defer c.group.mu.Unlock()
@@ -427,4 +464,7 @@ func (c *Consumer) Close() {
 		}
 	}
 	c.group.rebalanceLocked(len(c.topic.partitions))
+	// Remaining members may have inherited this consumer's partitions;
+	// wake them so they re-poll under the new assignment.
+	c.topic.broadcast()
 }

@@ -350,3 +350,83 @@ func BenchmarkProduceConsume(b *testing.B) {
 		consumed += len(recs)
 	}
 }
+
+// TestPollWakesOnProduce verifies Poll blocks on the topic's broadcast
+// channel instead of sleeping: a record produced mid-wait is returned
+// well before the poll deadline.
+func TestPollWakesOnProduce(t *testing.T) {
+	b := New()
+	b.CreateTopic("t", 1)
+	c, _ := b.Subscribe("t", "g")
+
+	start := time.Now()
+	go func() {
+		time.Sleep(30 * time.Millisecond)
+		b.Produce("t", "k", "v")
+	}()
+	recs := c.Poll(10, 10*time.Second)
+	elapsed := time.Since(start)
+	if len(recs) != 1 {
+		t.Fatalf("poll returned %d records", len(recs))
+	}
+	// The wakeup must come from the produce (~30ms), not the 10s
+	// deadline; a generous bound keeps slow CI honest.
+	if elapsed > 5*time.Second {
+		t.Fatalf("poll woke after %v; wakeup lost", elapsed)
+	}
+}
+
+// TestCloseUnblocksPoll verifies a consumer blocked in Poll returns
+// promptly (nil) when Close is called from another goroutine.
+func TestCloseUnblocksPoll(t *testing.T) {
+	b := New()
+	b.CreateTopic("t", 1)
+	c, _ := b.Subscribe("t", "g")
+
+	done := make(chan []Record, 1)
+	go func() { done <- c.Poll(10, 10*time.Second) }()
+	time.Sleep(20 * time.Millisecond)
+	c.Close()
+	select {
+	case recs := <-done:
+		if recs != nil {
+			t.Fatalf("closed poll returned %d records", len(recs))
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Close did not unblock Poll")
+	}
+	// Close is idempotent.
+	c.Close()
+}
+
+// TestSubscribeWakesBlockedMember verifies a member blocked on an
+// empty assignment re-polls when a rebalance hands it data-bearing
+// partitions (a new subscriber joining broadcasts the topic).
+func TestSubscribeWakesBlockedMember(t *testing.T) {
+	b := New()
+	b.CreateTopic("t", 2)
+	c1, _ := b.Subscribe("t", "g")
+
+	done := make(chan int, 1)
+	go func() {
+		n := 0
+		for {
+			recs := c1.Poll(100, 2*time.Second)
+			if recs == nil {
+				done <- n
+				return
+			}
+			n += len(recs)
+		}
+	}()
+	time.Sleep(20 * time.Millisecond)
+	// Produce onto both partitions while c1 owns them all.
+	for i := 0; i < 10; i++ {
+		if _, _, err := b.Produce("t", fmt.Sprintf("k%d", i), i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := <-done; got != 10 {
+		t.Fatalf("blocked member consumed %d records, want 10", got)
+	}
+}

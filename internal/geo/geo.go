@@ -42,8 +42,11 @@ func (p Point) String() string {
 }
 
 // Valid reports whether the point lies in the legal coordinate domain.
+// The longitude domain is half-open, [-180, 180), matching the Point
+// contract and NormalizeLon: the antimeridian is represented only as
+// -180, so +180 is out of domain (normalize first if it can occur).
 func (p Point) Valid() bool {
-	return p.Lat >= -90 && p.Lat <= 90 && p.Lon >= -180 && p.Lon <= 180 &&
+	return p.Lat >= -90 && p.Lat <= 90 && p.Lon >= -180 && p.Lon < 180 &&
 		!math.IsNaN(p.Lat) && !math.IsNaN(p.Lon)
 }
 

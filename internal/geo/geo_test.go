@@ -301,13 +301,15 @@ func TestMetersPerDegree(t *testing.T) {
 }
 
 func TestPointValid(t *testing.T) {
-	valid := []Point{{0, 0}, {90, 180}, {-90, -180}, {37.9, 23.6}}
+	valid := []Point{{0, 0}, {90, 179.99999}, {-90, -180}, {37.9, 23.6}}
 	for _, p := range valid {
 		if !p.Valid() {
 			t.Errorf("%v should be valid", p)
 		}
 	}
-	invalid := []Point{{91, 0}, {0, 181}, {math.NaN(), 0}, {0, math.NaN()}}
+	// The longitude domain is half-open: the antimeridian is only -180,
+	// so +180 is out of domain like any other over-range value.
+	invalid := []Point{{91, 0}, {0, 180}, {0, 181}, {math.NaN(), 0}, {0, math.NaN()}}
 	for _, p := range invalid {
 		if p.Valid() {
 			t.Errorf("%v should be invalid", p)

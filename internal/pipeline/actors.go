@@ -41,6 +41,12 @@ type (
 		report   ais.PositionReport
 		forecast []events.ForecastPoint
 	}
+	// ckptMsg carries a copy of a vessel's history window to its writer
+	// actor for checkpointing (the same batched-write path as states).
+	ckptMsg struct {
+		mmsi    ais.MMSI
+		reports []ais.PositionReport
+	}
 )
 
 // vesselActor is the per-MMSI digital twin: it keeps the vessel's
@@ -54,6 +60,11 @@ type vesselActor struct {
 	static  ais.StaticVoyage
 	// lastEvent mirrors the state the cell actors communicate back.
 	lastEvent events.Event
+	// sinceCkpt counts accepted reports since the last checkpoint was
+	// scheduled; dirty marks history not yet covered by one (so the
+	// Stopping snapshot is skipped when nothing changed).
+	sinceCkpt int
+	dirty     bool
 }
 
 func newVesselActor(p *Pipeline, mmsi ais.MMSI) *vesselActor {
@@ -67,6 +78,27 @@ func newVesselActor(p *Pipeline, mmsi ais.MMSI) *vesselActor {
 // Receive implements actor.Actor.
 func (v *vesselActor) Receive(c *actor.Context) {
 	switch m := c.Message().(type) {
+	case actor.Started:
+		// Started precedes every user message, both on first spawn and
+		// after a supervision restart, so rehydration runs before any
+		// report is processed: a restarted pipeline (or a crashed-and-
+		// restarted actor) resumes forecasting from its checkpointed
+		// window instead of re-warming from MinLiveReports. Replayed
+		// broker records are then deduplicated by the out-of-order guard
+		// in onPosition against the restored (nanosecond-exact) tail.
+		if v.p.ckptInterval() > 0 {
+			if reports, ok := v.p.loadCheckpoint(v.mmsi); ok {
+				v.history = reports
+			}
+		}
+	case actor.Stopping:
+		// Passivation and shutdown snapshot the final window directly
+		// (the writer actors may already be stopping), so a clean stop
+		// never loses more than nothing.
+		if v.dirty && v.p.ckptInterval() > 0 && len(v.history) > 0 {
+			v.p.saveCheckpoint(v.mmsi, v.history)
+			v.dirty = false
+		}
 	case posMsg:
 		start := time.Now()
 		v.onPosition(c, m)
@@ -94,6 +126,19 @@ func (v *vesselActor) onPosition(c *actor.Context, m posMsg) {
 	if len(v.history) > v.p.cfg.HistoryLimit {
 		drop := len(v.history) - v.p.cfg.HistoryLimit
 		v.history = append(v.history[:0:0], v.history[drop:]...)
+	}
+	// Periodic checkpoint: every ckptInterval accepted reports a copy of
+	// the window rides the writer path (one batched HSetMulti), so a
+	// crash at any point loses at most an interval's worth of warmup.
+	if interval := v.p.ckptInterval(); interval > 0 {
+		v.dirty = true
+		v.sinceCkpt++
+		if v.sinceCkpt >= interval {
+			v.sinceCkpt = 0
+			v.dirty = false
+			c.Send(v.p.writerFor(v.mmsi),
+				ckptMsg{mmsi: v.mmsi, reports: append([]ais.PositionReport(nil), v.history...)})
+		}
 	}
 
 	// Forecast with the shared model. The call is timed separately from
@@ -237,6 +282,8 @@ func (w *writerActor) Receive(c *actor.Context) {
 		w.writeState(m)
 	case eventMsg:
 		w.writeEvent(m.event)
+	case ckptMsg:
+		w.p.saveCheckpoint(m.mmsi, m.reports)
 	}
 }
 
@@ -252,7 +299,7 @@ func (w *writerActor) writeState(m stateMsg) {
 			StateOutput{Report: m.report, Forecast: m.forecast})
 	}
 	key := "vessel:" + m.report.MMSI.String()
-	st := w.p.store
+	st := w.p.kv
 	static, haveStatic := w.p.Static(m.report.MMSI)
 	if w.p.cfg.Feed != nil {
 		// Push transports: the frame rides the actor EventStream the
@@ -284,9 +331,19 @@ func (w *writerActor) writeState(m stateMsg) {
 		fields["name"] = static.Name
 		fields["type"] = strconv.Itoa(int(static.ShipType))
 	}
-	st.HSetMulti(key, fields)
+	// Writes go through the retry policy; an exhausted write is dropped
+	// (degraded mode, counted in seatwin_retry_exhausted_total) — the
+	// next report for this vessel rewrites the full document anyway.
+	hint := uint64(m.report.MMSI)
+	w.p.retryDo(hint, func() error {
+		_, err := st.HSetMulti(key, fields)
+		return err
+	})
 	// The active-vessel index, scored by last report time.
-	st.ZAdd("vessels:active", float64(m.report.Timestamp.Unix()), m.report.MMSI.String())
+	w.p.retryDo(hint, func() error {
+		_, err := st.ZAdd("vessels:active", float64(m.report.Timestamp.Unix()), m.report.MMSI.String())
+		return err
+	})
 }
 
 func (w *writerActor) writeEvent(e events.Event) {
@@ -298,8 +355,11 @@ func (w *writerActor) writeEvent(e events.Event) {
 	}
 	member := fmt.Sprintf("%s|%s|%s|%.0fm|%s",
 		e.Kind, e.A, e.B, e.Meters, e.At.UTC().Format(time.RFC3339))
-	w.p.store.ZAdd("events:"+string(e.Kind), float64(e.At.Unix()), member)
-	w.p.store.Publish("events", member)
+	w.p.retryDo(uint64(e.A), func() error {
+		_, err := w.p.kv.ZAdd("events:"+string(e.Kind), float64(e.At.Unix()), member)
+		return err
+	})
+	w.p.kv.Publish("events", member)
 }
 
 // encodeForecast renders forecast points compactly for the store:

@@ -141,6 +141,13 @@ func (a *API) handleStats(w http.ResponseWriter, _ *http.Request) {
 		"latency_p99":  s.Latency.P99.String(),
 		"infer_mean":   s.InferLatency.Mean.String(),
 		"infer_p99":    s.InferLatency.P99.String(),
+
+		"retry_attempts":      s.RetryAttempts,
+		"retry_retried":       s.RetryRetried,
+		"retry_exhausted":     s.RetryExhausted,
+		"checkpoint_saves":    s.CheckpointSaves,
+		"checkpoint_restores": s.CheckpointRestores,
+		"checkpoint_failures": s.CheckpointFailures,
 	})
 }
 
@@ -375,6 +382,12 @@ func (a *API) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	counter("seatwin_events_total", "maritime events detected or forecast", float64(s.Events))
 	counter("seatwin_dead_letters_total", "undeliverable actor messages", float64(s.DeadLetter))
 	counter("seatwin_bad_sentences_total", "rejected NMEA sentences", float64(a.p.BadSentences()))
+	counter("seatwin_retry_attempts_total", "store/consume operation attempts under the retry policy", float64(s.RetryAttempts))
+	counter("seatwin_retry_retried_total", "operations that succeeded after at least one retry", float64(s.RetryRetried))
+	counter("seatwin_retry_exhausted_total", "operations dropped to degraded mode after exhausting retries", float64(s.RetryExhausted))
+	counter("seatwin_checkpoint_saves_total", "vessel history checkpoints written", float64(s.CheckpointSaves))
+	counter("seatwin_checkpoint_restores_total", "vessel history windows rehydrated on spawn", float64(s.CheckpointRestores))
+	counter("seatwin_checkpoint_failures_total", "checkpoint saves or loads lost after retries", float64(s.CheckpointFailures))
 	gauge("seatwin_live_actors", "currently running actors", float64(s.LiveActors))
 	fmt.Fprintf(&b, "# HELP seatwin_processing_seconds vessel-actor message processing time\n")
 	fmt.Fprintf(&b, "# TYPE seatwin_processing_seconds summary\n")
@@ -404,6 +417,13 @@ func (a *API) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 		counter("seatwin_feed_frames_conflated_total", "frames conflated in place by key", float64(fs.Conflated))
 		counter("seatwin_feed_disconnects_total", "slow consumers force-disconnected", float64(fs.Disconnected))
 		gauge("seatwin_feed_fanout_p99_seconds", "p99 hub fan-out latency per publish", fs.FanoutP99.Seconds())
+	}
+	if in := a.p.cfg.Chaos; in != nil {
+		cs := in.Stats()
+		counter("seatwin_chaos_errors_total", "chaos-injected operation errors", float64(cs.Errors))
+		counter("seatwin_chaos_panics_total", "chaos-injected panics", float64(cs.Panics))
+		counter("seatwin_chaos_delays_total", "chaos-injected latency delays", float64(cs.Delays))
+		counter("seatwin_chaos_truncations_total", "chaos-injected broker truncations", float64(cs.Truncations))
 	}
 	w.Write([]byte(b.String()))
 }

@@ -19,6 +19,8 @@ import (
 	"seatwin/internal/actor"
 	"seatwin/internal/ais"
 	"seatwin/internal/broker"
+	"seatwin/internal/chaos"
+	"seatwin/internal/checkpoint"
 	"seatwin/internal/congestion"
 	"seatwin/internal/events"
 	"seatwin/internal/feed"
@@ -26,6 +28,7 @@ import (
 	"seatwin/internal/kvstore"
 	"seatwin/internal/lvrf"
 	"seatwin/internal/metrics"
+	"seatwin/internal/retry"
 )
 
 // Config assembles a Pipeline.
@@ -85,6 +88,19 @@ type Config struct {
 	OutputBroker      *broker.Broker
 	OutputEventsTopic string
 	OutputStatesTopic string
+	// CheckpointInterval is how many accepted reports a vessel actor
+	// processes between history checkpoints into the store (0 = 16;
+	// negative = checkpointing and rehydration disabled). Actors also
+	// checkpoint once on Stopping, so a clean Shutdown persists every
+	// live window regardless of the interval.
+	CheckpointInterval int
+	// Chaos, when non-nil, injects faults into the pipeline's store
+	// writes and the forecaster (see internal/chaos). The API's read
+	// side stays fault-free so operators can always observe the run.
+	Chaos *chaos.Injector
+	// Retry shapes the backoff loop around store writes and the broker
+	// consume round (zero value = retry.DefaultPolicy()).
+	Retry retry.Policy
 }
 
 // DefaultConfig returns the paper's deployment shape.
@@ -112,11 +128,25 @@ type Sample struct {
 	AvgProcess time.Duration
 }
 
+// stateStore is the write surface the pipeline persists through. It is
+// the raw *kvstore.Store unless Config.Chaos is set, in which case the
+// chaos wrapper injects faults on this path while API reads keep going
+// to the raw store (so "no lost committed state" stays checkable).
+type stateStore interface {
+	HSetMulti(key string, fields map[string]string) (int, error)
+	HGetAll(key string) (map[string]string, error)
+	ZAdd(key string, score float64, member string) (bool, error)
+	Publish(channel, payload string) int
+	Del(keys ...string) int
+}
+
 // Pipeline is a running instance of the system.
 type Pipeline struct {
 	cfg    Config
 	system *actor.System
 	store  *kvstore.Store
+	kv     stateStore // fault-injectable write path over store
+	retryP retry.Policy
 	log    *events.Log
 
 	writers []*actor.PID
@@ -146,7 +176,16 @@ type Pipeline struct {
 	forecasts    *metrics.ShardedCounter
 	badSentences int64
 	vessels      int64 // distinct vessel actors spawned (paper's x-axis)
+	ingested     int64 // messages accepted by Ingest (Drain's idle test)
 	closed       int32
+
+	// Durability counters (seatwin_retry_* / seatwin_checkpoint_*).
+	retryAttempts  *metrics.ShardedCounter // total tries across retried ops
+	retryRetried   *metrics.ShardedCounter // ops that succeeded after >=1 retry
+	retryExhausted *metrics.ShardedCounter // ops dropped to degraded mode
+	ckptSaves      *metrics.ShardedCounter // checkpoints written
+	ckptRestores   *metrics.ShardedCounter // vessel windows rehydrated on spawn
+	ckptFailures   *metrics.ShardedCounter // saves/loads lost after retries
 
 	// assembler reassembles multi-fragment AIVDM input for IngestNMEA.
 	assembler *ais.Assembler
@@ -234,6 +273,11 @@ func New(cfg Config) (*Pipeline, error) {
 	if cfg.MetricsWindow <= 0 {
 		cfg.MetricsWindow = 100
 	}
+	if cfg.Chaos != nil {
+		// The shared forecaster is wrapped here so vessel actors exercise
+		// refused forecasts and supervision restarts under chaos.
+		cfg.Forecaster = chaos.WrapForecaster(cfg.Forecaster, cfg.Chaos)
+	}
 	store := cfg.Store
 	if store == nil {
 		store = kvstore.New()
@@ -254,6 +298,21 @@ func New(cfg Config) (*Pipeline, error) {
 		samplerStop: make(chan struct{}),
 		samplerDone: make(chan struct{}),
 		assembler:   ais.NewAssembler(),
+
+		retryAttempts:  metrics.NewShardedCounter(0),
+		retryRetried:   metrics.NewShardedCounter(0),
+		retryExhausted: metrics.NewShardedCounter(0),
+		ckptSaves:      metrics.NewShardedCounter(0),
+		ckptRestores:   metrics.NewShardedCounter(0),
+		ckptFailures:   metrics.NewShardedCounter(0),
+	}
+	p.kv = store
+	if cfg.Chaos != nil {
+		p.kv = chaos.WrapKV(store, cfg.Chaos)
+	}
+	p.retryP = cfg.Retry
+	if p.retryP.IsZero() {
+		p.retryP = retry.DefaultPolicy()
 	}
 	for i := range p.pairShards {
 		p.pairShards[i].seen = make(map[string]time.Time)
@@ -352,6 +411,77 @@ func (p *Pipeline) writerFor(mmsi ais.MMSI) *actor.PID {
 	return p.writers[h&p.writerMask]
 }
 
+// ckptInterval resolves the checkpoint cadence: reports between
+// snapshots, or 0 when checkpointing is disabled.
+func (p *Pipeline) ckptInterval() int {
+	switch {
+	case p.cfg.CheckpointInterval < 0:
+		return 0
+	case p.cfg.CheckpointInterval == 0:
+		return 16
+	default:
+		return p.cfg.CheckpointInterval
+	}
+}
+
+// retryDo runs op under the pipeline's retry policy, recording the
+// per-outcome seatwin_retry_* counters on the shard selected by hint.
+// It returns false when attempts were exhausted — the caller drops to
+// degraded mode (skip the write, keep ingesting) rather than blocking.
+func (p *Pipeline) retryDo(hint uint64, op func() error) bool {
+	res := p.retryP.Do(op)
+	p.retryAttempts.Inc(hint, int64(res.Attempts))
+	if res.Err != nil {
+		p.retryExhausted.Inc(hint, 1)
+		return false
+	}
+	if res.Retried() {
+		p.retryRetried.Inc(hint, 1)
+	}
+	return true
+}
+
+// saveCheckpoint persists one vessel's history window through the
+// (possibly chaos-wrapped) store, with retries; an exhausted save is
+// counted as a checkpoint failure and dropped — the previous
+// checkpoint, if any, stays in place.
+func (p *Pipeline) saveCheckpoint(mmsi ais.MMSI, reports []ais.PositionReport) {
+	hint := uint64(mmsi)
+	if p.retryDo(hint, func() error {
+		return checkpoint.Save(p.kv, checkpoint.Snapshot{MMSI: mmsi, Reports: reports})
+	}) {
+		p.ckptSaves.Inc(hint, 1)
+	} else {
+		p.ckptFailures.Inc(hint, 1)
+	}
+}
+
+// loadCheckpoint rehydrates one vessel's history window, bounded by
+// HistoryLimit. ok is false when there is no usable checkpoint — a
+// corrupt or unreadable one degrades to a cold start and is counted.
+func (p *Pipeline) loadCheckpoint(mmsi ais.MMSI) ([]ais.PositionReport, bool) {
+	hint := uint64(mmsi)
+	var snap checkpoint.Snapshot
+	var found bool
+	if !p.retryDo(hint, func() error {
+		var err error
+		snap, found, err = checkpoint.Load(p.kv, mmsi)
+		return err
+	}) {
+		p.ckptFailures.Inc(hint, 1)
+		return nil, false
+	}
+	if !found || len(snap.Reports) == 0 {
+		return nil, false
+	}
+	reports := snap.Reports
+	if len(reports) > p.cfg.HistoryLimit {
+		reports = reports[len(reports)-p.cfg.HistoryLimit:]
+	}
+	p.ckptRestores.Inc(hint, 1)
+	return reports, true
+}
+
 // Ingest routes one decoded AIS message into the pipeline: the entry
 // point used by broker consumers and direct feeds alike.
 func (p *Pipeline) Ingest(msg ais.Message, receivedAt time.Time) {
@@ -368,9 +498,11 @@ func (p *Pipeline) Ingest(msg ais.Message, receivedAt time.Time) {
 			m = mergeStatic(prev.(ais.StaticVoyage), m)
 		}
 		p.statics.Store(m.MMSI, m)
+		atomic.AddInt64(&p.ingested, 1)
 		p.system.Send(p.vesselActor(m.MMSI), m)
 	case ais.PositionReport:
 		p.messages.Inc(uint64(m.MMSI), 1)
+		atomic.AddInt64(&p.ingested, 1)
 		p.system.Send(p.vesselActor(m.MMSI), posMsg{report: m, receivedAt: receivedAt})
 	}
 }
@@ -514,6 +646,14 @@ type Stats struct {
 	InferLatency metrics.Snapshot
 	Events       int64
 	DeadLetter   uint64
+	// Durability counters: the retry loop's per-outcome totals and the
+	// checkpoint lifecycle (see DESIGN.md §9).
+	RetryAttempts      int64
+	RetryRetried       int64
+	RetryExhausted     int64
+	CheckpointSaves    int64
+	CheckpointRestores int64
+	CheckpointFailures int64
 }
 
 // Stats snapshots the pipeline counters.
@@ -526,6 +666,13 @@ func (p *Pipeline) Stats() Stats {
 		InferLatency: p.inferLat.Snapshot(),
 		Events:       p.log.Total(),
 		DeadLetter:   p.system.StatsSnapshot().DeadLetters,
+
+		RetryAttempts:      p.retryAttempts.Value(),
+		RetryRetried:       p.retryRetried.Value(),
+		RetryExhausted:     p.retryExhausted.Value(),
+		CheckpointSaves:    p.ckptSaves.Value(),
+		CheckpointRestores: p.ckptRestores.Value(),
+		CheckpointFailures: p.ckptFailures.Value(),
 	}
 }
 
@@ -541,25 +688,67 @@ func (p *Pipeline) Series() []Sample {
 	return out
 }
 
+// RecordConsumer is the consumer surface ConsumeLoop drains: both
+// *broker.Consumer and the chaos fault-injection wrapper satisfy it.
+type RecordConsumer interface {
+	Poll(max int, wait time.Duration) []broker.Record
+	Commit()
+}
+
 // ConsumeLoop drains a broker consumer into the pipeline until the
-// consumer closes or the pipeline shuts down. Records must carry
-// ais.Message values.
-func (p *Pipeline) ConsumeLoop(c *broker.Consumer, pollWait time.Duration) int {
+// consumer closes (nil poll) or the pipeline shuts down. Records must
+// carry ais.Message values. A panic out of the consume round (an
+// injected chaos fault, or a genuinely broken consumer) is recovered
+// and retried with the pipeline's backoff policy, and empty batches
+// back off the same way, so a faulting broker degrades ingest instead
+// of wedging or spinning it. Because faulted rounds never commit, every
+// record is redelivered once the fault clears (at-least-once).
+func (p *Pipeline) ConsumeLoop(c RecordConsumer, pollWait time.Duration) int {
 	n := 0
+	faults := 0
 	for atomic.LoadInt32(&p.closed) == 0 {
-		recs := c.Poll(512, pollWait)
-		if recs == nil {
+		got, closed, err := p.consumeRound(c, pollWait)
+		n += got
+		if closed {
 			return n
 		}
-		for _, r := range recs {
-			if msg, ok := r.Value.(ais.Message); ok {
-				p.Ingest(msg, r.Timestamp)
-				n++
+		if err != nil || got == 0 {
+			if err != nil {
+				// A recovered panic is one failed attempt of the (endless)
+				// consume operation; it is retried, never exhausted.
+				p.retryAttempts.Inc(uint64(faults), 1)
 			}
+			if faults < 10 {
+				faults++
+			}
+			time.Sleep(p.retryP.Delay(faults))
+			continue
 		}
-		c.Commit()
+		faults = 0
 	}
 	return n
+}
+
+// consumeRound runs one poll/ingest/commit round, converting a panic
+// into an error so the loop above can back off and retry.
+func (p *Pipeline) consumeRound(c RecordConsumer, pollWait time.Duration) (ingested int, closed bool, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("pipeline: consume round panicked: %v", r)
+		}
+	}()
+	recs := c.Poll(512, pollWait)
+	if recs == nil {
+		return ingested, true, nil
+	}
+	for _, r := range recs {
+		if msg, ok := r.Value.(ais.Message); ok {
+			p.Ingest(msg, r.Timestamp)
+			ingested++
+		}
+	}
+	c.Commit()
+	return ingested, false, nil
 }
 
 // Drain waits until the actor system has processed everything enqueued
@@ -567,12 +756,17 @@ func (p *Pipeline) ConsumeLoop(c *broker.Consumer, pollWait time.Duration) int {
 // counter stops moving AND that no mailbox still holds queued messages:
 // a stalled-but-backlogged system (e.g. one slow forecaster with a deep
 // mailbox) must not be declared drained just because throughput paused.
+// A pipeline that never ingested anything is already drained and
+// returns immediately; once something was ingested, the processed
+// counter must have moved off zero before quiescence counts, so a
+// just-popped in-flight first message cannot fake an idle system.
 func (p *Pipeline) Drain(timeout time.Duration) {
 	deadline := time.Now().Add(timeout)
 	var last uint64
 	for time.Now().Before(deadline) {
 		cur := p.system.StatsSnapshot().MessagesProcessed
-		if cur == last && cur > 0 && p.system.QueuedMessages() == 0 {
+		idle := atomic.LoadInt64(&p.ingested) == 0
+		if cur == last && (cur > 0 || idle) && p.system.QueuedMessages() == 0 {
 			return
 		}
 		last = cur

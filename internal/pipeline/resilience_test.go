@@ -88,6 +88,19 @@ func TestDrainReturnsOnQuietSystem(t *testing.T) {
 	}
 }
 
+// TestDrainIdlePipelineReturnsImmediately: a pipeline that never
+// ingested anything is already drained — Drain must return at once
+// instead of burning the whole timeout waiting for a processed counter
+// that will never move off zero.
+func TestDrainIdlePipelineReturnsImmediately(t *testing.T) {
+	p := newTestPipeline(t)
+	start := time.Now()
+	p.Drain(10 * time.Second)
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("drain of an idle pipeline took %v", elapsed)
+	}
+}
+
 func TestShutdownIdempotent(t *testing.T) {
 	p, err := New(DefaultConfig(events.NewKinematicForecaster()))
 	if err != nil {

@@ -1,0 +1,132 @@
+// Package retry implements the small shared retry/timeout/backoff
+// policy of the pipeline's durability layer: jittered exponential
+// backoff with bounded attempts. Writer actors wrap their store writes
+// in it and the broker consume loop wraps its poll/ingest round, so a
+// transient middleware fault (or an injected chaos fault) costs a few
+// capped sleeps instead of a lost write or a wedged ingest goroutine.
+// What happens on exhaustion is the caller's decision — the pipeline
+// drops to degraded mode (counting the loss) rather than blocking.
+package retry
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Policy shapes one retry loop. The zero value is not useful; start
+// from DefaultPolicy and override fields.
+type Policy struct {
+	// MaxAttempts bounds the total tries of one operation (the first
+	// attempt counts). Values below 1 behave as 1: no retries.
+	MaxAttempts int
+	// BaseDelay is the backoff before the second attempt; each further
+	// attempt doubles it (times Multiplier) up to MaxDelay.
+	BaseDelay time.Duration
+	// MaxDelay caps the grown backoff.
+	MaxDelay time.Duration
+	// Multiplier grows the delay between attempts (values below 1
+	// behave as 2, the conventional exponential base).
+	Multiplier float64
+	// Jitter randomises each delay by ±Jitter fraction of itself
+	// (0.5 = delays land in [0.5d, 1.5d]), de-synchronising retry
+	// storms across writers. Values outside [0, 1] are clamped.
+	Jitter float64
+}
+
+// DefaultPolicy returns the pipeline's deployment shape: five attempts
+// spanning roughly half a second worst-case, which rides out transient
+// store contention without stalling ingestion noticeably.
+func DefaultPolicy() Policy {
+	return Policy{
+		MaxAttempts: 5,
+		BaseDelay:   2 * time.Millisecond,
+		MaxDelay:    100 * time.Millisecond,
+		Multiplier:  2,
+		Jitter:      0.5,
+	}
+}
+
+// normalized returns the policy with defaults applied to out-of-range
+// fields, so callers can leave Config zero values in place.
+func (p Policy) normalized() Policy {
+	d := DefaultPolicy()
+	if p.MaxAttempts < 1 {
+		p.MaxAttempts = 1
+	}
+	if p.BaseDelay <= 0 {
+		p.BaseDelay = d.BaseDelay
+	}
+	if p.MaxDelay <= 0 {
+		p.MaxDelay = d.MaxDelay
+	}
+	if p.Multiplier < 1 {
+		p.Multiplier = d.Multiplier
+	}
+	if p.Jitter < 0 {
+		p.Jitter = 0
+	}
+	if p.Jitter > 1 {
+		p.Jitter = 1
+	}
+	return p
+}
+
+// IsZero reports whether the policy is entirely unset (Config sugar:
+// a zero retry.Policy selects DefaultPolicy).
+func (p Policy) IsZero() bool { return p == Policy{} }
+
+// Delay returns the jittered backoff before attempt+1, where attempt
+// counts completed tries (1 = the first attempt just failed). The
+// result is deterministic in distribution, not value: jitter draws
+// from the shared math/rand source, which is safe for concurrent use.
+func (p Policy) Delay(attempt int) time.Duration {
+	p = p.normalized()
+	if attempt < 1 {
+		attempt = 1
+	}
+	d := float64(p.BaseDelay)
+	for i := 1; i < attempt; i++ {
+		d *= p.Multiplier
+		if d >= float64(p.MaxDelay) {
+			d = float64(p.MaxDelay)
+			break
+		}
+	}
+	if d > float64(p.MaxDelay) {
+		d = float64(p.MaxDelay)
+	}
+	if p.Jitter > 0 {
+		// Uniform in [d*(1-j), d*(1+j)].
+		d *= 1 - p.Jitter + 2*p.Jitter*rand.Float64()
+	}
+	return time.Duration(d)
+}
+
+// Result reports how one Do run went.
+type Result struct {
+	// Attempts is how many times op ran (1 = first try succeeded).
+	Attempts int
+	// Err is nil on success, or the last error when attempts ran out.
+	Err error
+}
+
+// Retried reports whether success needed more than one attempt.
+func (r Result) Retried() bool { return r.Err == nil && r.Attempts > 1 }
+
+// Do runs op until it succeeds or MaxAttempts is exhausted, sleeping
+// the jittered backoff between attempts. It never sleeps after the
+// final failure — exhaustion returns immediately so degraded-mode
+// handling is prompt.
+func (p Policy) Do(op func() error) Result {
+	p = p.normalized()
+	var err error
+	for attempt := 1; ; attempt++ {
+		if err = op(); err == nil {
+			return Result{Attempts: attempt}
+		}
+		if attempt >= p.MaxAttempts {
+			return Result{Attempts: attempt, Err: err}
+		}
+		time.Sleep(p.Delay(attempt))
+	}
+}

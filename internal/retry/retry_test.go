@@ -1,0 +1,101 @@
+package retry
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestDoFirstTrySuccess(t *testing.T) {
+	calls := 0
+	res := DefaultPolicy().Do(func() error { calls++; return nil })
+	if res.Err != nil || res.Attempts != 1 || calls != 1 {
+		t.Fatalf("res=%+v calls=%d", res, calls)
+	}
+	if res.Retried() {
+		t.Fatal("first-try success must not count as retried")
+	}
+}
+
+func TestDoRecoversAfterTransientFaults(t *testing.T) {
+	p := Policy{MaxAttempts: 5, BaseDelay: time.Microsecond, MaxDelay: 10 * time.Microsecond}
+	calls := 0
+	res := p.Do(func() error {
+		calls++
+		if calls < 3 {
+			return errors.New("transient")
+		}
+		return nil
+	})
+	if res.Err != nil || res.Attempts != 3 {
+		t.Fatalf("res=%+v", res)
+	}
+	if !res.Retried() {
+		t.Fatal("recovery after retries must report Retried")
+	}
+}
+
+func TestDoExhaustionReturnsLastError(t *testing.T) {
+	p := Policy{MaxAttempts: 3, BaseDelay: time.Microsecond, MaxDelay: 10 * time.Microsecond}
+	boom := errors.New("boom")
+	calls := 0
+	start := time.Now()
+	res := p.Do(func() error { calls++; return boom })
+	if !errors.Is(res.Err, boom) || res.Attempts != 3 || calls != 3 {
+		t.Fatalf("res=%+v calls=%d", res, calls)
+	}
+	// Exhaustion must not sleep a final backoff.
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Fatalf("exhaustion took %v", elapsed)
+	}
+}
+
+func TestDoBoundsAttemptsBelowOne(t *testing.T) {
+	calls := 0
+	res := Policy{MaxAttempts: -7}.Do(func() error { calls++; return errors.New("x") })
+	if calls != 1 || res.Attempts != 1 || res.Err == nil {
+		t.Fatalf("res=%+v calls=%d", res, calls)
+	}
+}
+
+func TestDelayGrowsAndCaps(t *testing.T) {
+	p := Policy{MaxAttempts: 10, BaseDelay: time.Millisecond, MaxDelay: 8 * time.Millisecond, Multiplier: 2, Jitter: 0}
+	want := []time.Duration{
+		time.Millisecond,
+		2 * time.Millisecond,
+		4 * time.Millisecond,
+		8 * time.Millisecond,
+		8 * time.Millisecond, // capped
+		8 * time.Millisecond,
+	}
+	for i, w := range want {
+		if got := p.Delay(i + 1); got != w {
+			t.Fatalf("Delay(%d) = %v, want %v", i+1, got, w)
+		}
+	}
+}
+
+func TestDelayJitterStaysInBand(t *testing.T) {
+	p := Policy{MaxAttempts: 5, BaseDelay: 10 * time.Millisecond, MaxDelay: time.Second, Multiplier: 2, Jitter: 0.5}
+	for i := 0; i < 1000; i++ {
+		d := p.Delay(1)
+		if d < 5*time.Millisecond || d > 15*time.Millisecond {
+			t.Fatalf("jittered delay %v outside [5ms, 15ms]", d)
+		}
+	}
+}
+
+func TestZeroPolicySelectsDefaults(t *testing.T) {
+	var p Policy
+	if !p.IsZero() {
+		t.Fatal("zero policy must report IsZero")
+	}
+	if DefaultPolicy().IsZero() {
+		t.Fatal("default policy must not report IsZero")
+	}
+	// A zero policy still terminates: normalized MaxAttempts is 1.
+	res := p.Do(func() error { return errors.New("x") })
+	if res.Attempts != 1 {
+		t.Fatalf("zero policy attempts = %d", res.Attempts)
+	}
+}

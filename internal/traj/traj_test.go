@@ -253,3 +253,70 @@ func TestDownsampledIntervalStatsNearPaper(t *testing.T) {
 		t.Fatalf("std %.1f s vs mean %.1f s: tail too light", std, mean)
 	}
 }
+
+// TestPredictedPositionsAntimeridian walks predicted tracks across the
+// ±180 boundary and asserts every produced position stays inside
+// geo.Point's half-open longitude domain [-180, 180). The table covers
+// eastward and westward crossings, a step landing exactly on the
+// antimeridian (must come out as -180, never +180), and a multi-step
+// track that crosses and comes back.
+func TestPredictedPositionsAntimeridian(t *testing.T) {
+	// One output pair is (dLat*DegScale, dLon*DegScale).
+	step := func(dLat, dLon float64) []float64 {
+		return []float64{dLat * DegScale, dLon * DegScale}
+	}
+	cat := func(steps ...[]float64) []float64 {
+		var out []float64
+		for _, s := range steps {
+			out = append(out, s...)
+		}
+		return out
+	}
+	cases := []struct {
+		name    string
+		anchor  geo.Point
+		output  []float64
+		wantLon []float64
+	}{
+		{
+			name:    "eastward crossing wraps negative",
+			anchor:  geo.Point{Lat: 52, Lon: 179.95},
+			output:  cat(step(0, 0.1), step(0, 0.1)),
+			wantLon: []float64{-179.95, -179.85},
+		},
+		{
+			name:    "westward crossing wraps positive",
+			anchor:  geo.Point{Lat: -10, Lon: -179.9},
+			output:  cat(step(0, -0.2), step(0, -0.2)),
+			wantLon: []float64{179.9, 179.7},
+		},
+		{
+			name:    "landing exactly on the antimeridian is -180",
+			anchor:  geo.Point{Lat: 0, Lon: 179.5},
+			output:  cat(step(0, 0.5)),
+			wantLon: []float64{-180},
+		},
+		{
+			name:    "from the -180 edge and back across",
+			anchor:  geo.Point{Lat: 60, Lon: -180},
+			output:  cat(step(0, -0.25), step(0, 0.5)),
+			wantLon: []float64{179.75, -179.75},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			pts := PredictedPositionsInto(nil, tc.anchor, tc.output)
+			if len(pts) != len(tc.wantLon) {
+				t.Fatalf("got %d points, want %d", len(pts), len(tc.wantLon))
+			}
+			for i, p := range pts {
+				if !p.Valid() {
+					t.Errorf("point %d = %v is outside the coordinate domain", i, p)
+				}
+				if diff := p.Lon - tc.wantLon[i]; diff > 1e-9 || diff < -1e-9 {
+					t.Errorf("point %d lon = %v, want %v", i, p.Lon, tc.wantLon[i])
+				}
+			}
+		})
+	}
+}
