@@ -215,6 +215,50 @@ func BenchmarkIngestParallel(b *testing.B) {
 	b.StopTimer()
 }
 
+// BenchmarkIngestNMEA measures the raw-receiver ingest path: NMEA
+// AIVDM lines parsed, de-armored, decoded and pushed through the full
+// pipeline — ParseSentence's in-place field split and the pooled
+// de-armoring buffers ahead of the same actor path BenchmarkIngestParallel
+// times. Sentences are pre-marshalled so the timed region is decode +
+// ingest only.
+func BenchmarkIngestNMEA(b *testing.B) {
+	cfg := pipeline.DefaultConfig(events.NewKinematicForecaster())
+	cfg.Writers = 4
+	p, err := pipeline.New(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer p.Shutdown(5 * time.Second)
+	base := time.Date(2026, 7, 5, 9, 0, 0, 0, time.UTC)
+	const fleet = 1024
+	lines := make([]string, 0, fleet)
+	for v := 0; v < fleet; v++ {
+		ls, err := ais.Marshal(ais.PositionReport{
+			MMSI: ais.MMSI(210000000 + v),
+			Lat:  30 + float64(v%64)*0.2,
+			Lon:  20 + float64(v/64)*0.2,
+			SOG:  12, COG: 90,
+			Timestamp: base,
+		}, "A", 0)
+		if err != nil || len(ls) != 1 {
+			b.Fatalf("marshal: %v (%d lines)", err, len(ls))
+		}
+		lines = append(lines, ls[0])
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// receivedAt advances one 30 s reporting round per fleet sweep so
+		// per-vessel timestamps stay monotonic for the dedup guard.
+		at := base.Add(time.Duration(i/fleet) * 30 * time.Second)
+		if err := p.IngestNMEA(lines[i%fleet], at); err != nil {
+			b.Fatal(err)
+		}
+	}
+	p.Drain(60 * time.Second)
+	b.StopTimer()
+}
+
 // BenchmarkLiveFeedEndToEnd measures the full push path: AIS reports
 // ingested into the pipeline, processed by vessel actors, persisted by
 // writer actors, and fanned out by the live-feed hub to thousands of

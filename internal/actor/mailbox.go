@@ -31,7 +31,22 @@ type mailbox struct {
 	suspended int32
 
 	length int64 // total queued user messages, for metrics/backpressure
+
+	// recentPeak is a decaying maximum of recent swap batch sizes, used
+	// to release buffer capacity left over from a burst (see popUser).
+	recentPeak int
 }
+
+// Buffer-shrink tuning: after a burst drains, the swapped-out write
+// buffer keeps the burst's capacity forever. Across ~170K mostly-idle
+// vessel actors that retained slack is unbounded, so when a buffer's
+// capacity exceeds shrinkFactor times the decayed recent batch peak it
+// is dropped and the next push reallocates at the current demand.
+// Buffers at or under shrinkMinCap are always kept.
+const (
+	shrinkMinCap = 256
+	shrinkFactor = 4
+)
 
 func newMailbox() *mailbox {
 	return &mailbox{}
@@ -43,6 +58,19 @@ func (m *mailbox) pushUser(e envelope) int64 {
 	m.userW = append(m.userW, e)
 	m.mu.Unlock()
 	return atomic.AddInt64(&m.length, 1)
+}
+
+// pushUserBatch enqueues every message as an envelope from one sender
+// under a single lock acquisition — the batched delivery path ingestion
+// uses to pay mailbox lock and schedule cost once per vessel per poll
+// round instead of once per report.
+func (m *mailbox) pushUserBatch(msgs []any, sender *PID) int64 {
+	m.mu.Lock()
+	for _, msg := range msgs {
+		m.userW = append(m.userW, envelope{message: msg, sender: sender})
+	}
+	m.mu.Unlock()
+	return atomic.AddInt64(&m.length, int64(len(msgs)))
 }
 
 // pushSystem enqueues a control message.
@@ -86,6 +114,17 @@ func (m *mailbox) popUser() (envelope, bool) {
 		return envelope{}, false
 	}
 	m.userR, m.userW = m.userW, m.userR[:0]
+	// Track the decayed batch-size peak and release a write buffer whose
+	// capacity greatly exceeds it: one burst must not pin its high-water
+	// capacity on an actor that has gone back to a trickle.
+	if n := len(m.userR); n > m.recentPeak {
+		m.recentPeak = n
+	} else {
+		m.recentPeak -= m.recentPeak / 4
+	}
+	if c := cap(m.userW); c > shrinkMinCap && c > shrinkFactor*m.recentPeak {
+		m.userW = nil
+	}
 	m.mu.Unlock()
 	m.userRPos = 1
 	atomic.AddInt64(&m.length, -1)

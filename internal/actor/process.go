@@ -27,6 +27,13 @@ type process struct {
 
 	stopping int32
 	done     chan struct{} // closed when the actor is fully stopped
+
+	// ctx is reused for every delivery to this process. Deliveries are
+	// serial (user invokes, lifecycle invokes and doStop all run on the
+	// goroutine holding the mailbox schedule token), and a Context is
+	// documented as valid only for the duration of its Receive call, so
+	// one struct per process replaces one heap allocation per message.
+	ctx Context
 }
 
 func (p *process) sendUser(e envelope) {
@@ -35,6 +42,20 @@ func (p *process) sendUser(e envelope) {
 		return
 	}
 	p.mb.pushUser(e)
+	p.schedule()
+}
+
+// sendUserBatch enqueues msgs in order with one mailbox lock and one
+// schedule transition. A target found dead routes the whole batch to
+// dead letters, matching sendUser.
+func (p *process) sendUserBatch(msgs []any, sender *PID) {
+	if atomic.LoadInt32(&p.dead) == 1 {
+		for _, msg := range msgs {
+			p.system.deadLetter(p.pid, msg, sender)
+		}
+		return
+	}
+	p.mb.pushUserBatch(msgs, sender)
 	p.schedule()
 }
 
@@ -113,8 +134,8 @@ func (p *process) invoke(e envelope) {
 			p.handleFailure(r, e)
 		}
 	}()
-	ctx := &Context{system: p.system, process: p, self: p.pid, sender: e.sender, message: e.message}
-	p.actor.Receive(ctx)
+	p.ctx = Context{system: p.system, process: p, self: p.pid, sender: e.sender, message: e.message}
+	p.actor.Receive(&p.ctx)
 	atomic.AddUint64(&p.system.stats.MessagesProcessed, 1)
 }
 
@@ -126,8 +147,8 @@ func (p *process) invokeLifecycle(msg any) {
 			p.system.events.Publish(FailureEvent{PID: p.pid, Reason: r, Lifecycle: true})
 		}
 	}()
-	ctx := &Context{system: p.system, process: p, self: p.pid, message: msg}
-	p.actor.Receive(ctx)
+	p.ctx = Context{system: p.system, process: p, self: p.pid, message: msg}
+	p.actor.Receive(&p.ctx)
 }
 
 // FailureEvent is published on the event stream when an actor panics.

@@ -29,6 +29,12 @@ type System struct {
 	events *EventStream
 	stats  Stats
 
+	// unregisterHook, when set, is invoked with every PID removed from
+	// the named registry (stop, passivation or eager dead-entry removal).
+	// Route caches keyed off registry names use it for invalidation. The
+	// hook runs on the unregistering goroutine and must not block.
+	unregisterHook atomic.Value // of func(*PID)
+
 	shutdown int32
 }
 
@@ -46,8 +52,10 @@ type registryShard struct {
 // lookup returns the live PID registered under name in this shard.
 // Entries whose actor has died are deleted eagerly so long-running
 // systems with passivating cell actors don't accumulate tombstones
-// between the death and the actor's own unregister.
-func (sh *registryShard) lookup(name string) *PID {
+// between the death and the actor's own unregister. onUnregister (may
+// be nil) fires when this lookup is the one that removes the entry, so
+// external route caches observe every registry removal exactly once.
+func (sh *registryShard) lookup(name string, onUnregister func(*PID)) *PID {
 	v, ok := sh.m.Load(name)
 	if !ok {
 		return nil
@@ -58,6 +66,9 @@ func (sh *registryShard) lookup(name string) *PID {
 	}
 	if sh.m.CompareAndDelete(name, pid) {
 		sh.size.Add(-1)
+		if onUnregister != nil {
+			onUnregister(pid)
+		}
 	}
 	return nil
 }
@@ -155,7 +166,25 @@ func (s *System) SpawnNamed(props *Props, name string) (*PID, error) {
 // Lookup returns the PID registered under name, or nil. Dead entries
 // found along the way are removed eagerly (see registryShard.lookup).
 func (s *System) Lookup(name string) *PID {
-	return s.shardOf(name).lookup(name)
+	return s.shardOf(name).lookup(name, s.hook())
+}
+
+// OnUnregister installs fn as the registry-removal hook: it is called
+// with every PID leaving the named registry — explicit stop, poison,
+// passivation or eager dead-entry cleanup — exactly once per removal.
+// The pipeline points it at its route caches so a cached PID can never
+// outlive its registration unnoticed. fn runs on whichever goroutine
+// performs the removal and must be fast and non-blocking.
+func (s *System) OnUnregister(fn func(pid *PID)) {
+	s.unregisterHook.Store(fn)
+}
+
+// hook returns the installed unregister hook, or nil.
+func (s *System) hook() func(*PID) {
+	if v := s.unregisterHook.Load(); v != nil {
+		return v.(func(*PID))
+	}
+	return nil
 }
 
 // RegistrySize returns the number of named actors currently registered
@@ -199,12 +228,12 @@ func (s *System) QueuedMessages() int64 {
 // per MMSI and cell actors per hexgrid cell on first contact.
 func (s *System) GetOrSpawn(name string, props *Props) (*PID, bool) {
 	sh := s.shardOf(name)
-	if pid := sh.lookup(name); pid != nil {
+	if pid := sh.lookup(name, s.hook()); pid != nil {
 		return pid, false
 	}
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
-	if pid := sh.lookup(name); pid != nil {
+	if pid := sh.lookup(name, s.hook()); pid != nil {
 		return pid, false
 	}
 	pid := s.newProcess(props, name, nil)
@@ -221,7 +250,7 @@ func (s *System) spawnNamed(props *Props, name string, parent *PID) (*PID, error
 	sh := s.shardOf(name)
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
-	if existing := sh.lookup(name); existing != nil {
+	if existing := sh.lookup(name, s.hook()); existing != nil {
 		return nil, fmt.Errorf("actor: name %q already registered", name)
 	}
 	pid := s.newProcess(props, name, parent)
@@ -259,9 +288,13 @@ func (s *System) newProcess(props *Props, name string, parent *PID) *PID {
 func (s *System) unregister(pid *PID) {
 	sh := s.shardOf(pid.name)
 	// CompareAndDelete keeps the shard size exact when an eager Lookup
-	// deletion or a name-reusing respawn races this unregister.
+	// deletion or a name-reusing respawn races this unregister; the
+	// unregister hook fires only on the side that won the removal.
 	if sh.m.CompareAndDelete(pid.name, pid) {
 		sh.size.Add(-1)
+		if fn := s.hook(); fn != nil {
+			fn(pid)
+		}
 	}
 }
 
@@ -276,6 +309,24 @@ func (s *System) sendWithSender(target *PID, msg any, sender *PID) {
 		return
 	}
 	target.process.sendUser(envelope{message: msg, sender: sender})
+}
+
+// SendBatch delivers msgs to target in order, paying the mailbox lock
+// and the scheduler handoff once for the whole batch instead of once
+// per message. Ingestion uses it to deliver a poll round's reports
+// grouped by vessel. A nil or stopped target dead-letters every
+// message, matching Send.
+func (s *System) SendBatch(target *PID, msgs []any) {
+	if len(msgs) == 0 {
+		return
+	}
+	if target == nil || target.process == nil {
+		for _, msg := range msgs {
+			s.deadLetter(target, msg, nil)
+		}
+		return
+	}
+	target.process.sendUserBatch(msgs, nil)
 }
 
 // Poison gracefully stops the target after every message already in

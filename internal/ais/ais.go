@@ -13,6 +13,7 @@ package ais
 
 import (
 	"fmt"
+	"strconv"
 	"time"
 )
 
@@ -20,8 +21,25 @@ import (
 // pipeline partitions on (one vessel actor per MMSI).
 type MMSI uint32
 
+// Append appends the canonical 9-digit form to b — the alloc-free
+// building block the writer hot path composes keys and set members
+// from. Out-of-range identities (>9 digits) render unpadded, matching
+// the %09d they previously went through.
+func (m MMSI) Append(b []byte) []byte {
+	v := uint32(m)
+	if v >= 1_000_000_000 {
+		return strconv.AppendUint(b, uint64(v), 10)
+	}
+	var d [9]byte
+	for i := 8; i >= 0; i-- {
+		d[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return append(b, d[:]...)
+}
+
 // String renders the canonical 9-digit form.
-func (m MMSI) String() string { return fmt.Sprintf("%09d", uint32(m)) }
+func (m MMSI) String() string { return string(m.Append(nil)) }
 
 // Valid reports whether the identity fits in 30 bits and is non-zero.
 func (m MMSI) Valid() bool { return m > 0 && m < 1<<30 }

@@ -1,0 +1,65 @@
+package ais
+
+import (
+	"testing"
+	"time"
+)
+
+// TestParseSentenceAllocs gates the NMEA parser: a valid single-
+// fragment sentence must parse with zero allocations (every Sentence
+// field is a substring of the input line).
+func TestParseSentenceAllocs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("alloc gate needs uninstrumented runs")
+	}
+	lines, err := Marshal(PositionReport{
+		MMSI: 239000001, Lat: 37.5, Lon: 24.5, SOG: 12.3, COG: 89.9,
+		Status:    StatusUnderWayEngine,
+		Timestamp: time.Date(2023, 9, 18, 9, 0, 0, 0, time.UTC),
+	}, "A", 0)
+	if err != nil || len(lines) != 1 {
+		t.Fatalf("marshal: %v (%d lines)", err, len(lines))
+	}
+	line := lines[0]
+	avg := testing.AllocsPerRun(200, func() {
+		if _, err := ParseSentence(line); err != nil {
+			t.Fatal(err)
+		}
+	})
+	t.Logf("ParseSentence: %.2f allocs/line", avg)
+	if avg > 0 {
+		t.Errorf("ParseSentence allocates %.2f/line, want 0", avg)
+	}
+}
+
+// TestAssemblerPushAllocs bounds the single-fragment decode path: the
+// armored payload is unpacked into a pooled buffer, so the only
+// allocations left are the decoded message value itself.
+func TestAssemblerPushAllocs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("alloc gate needs uninstrumented runs")
+	}
+	at := time.Date(2023, 9, 18, 9, 0, 0, 0, time.UTC)
+	lines, err := Marshal(PositionReport{
+		MMSI: 239000001, Lat: 37.5, Lon: 24.5, SOG: 12.3, COG: 89.9,
+		Status: StatusUnderWayEngine, Timestamp: at,
+	}, "A", 0)
+	if err != nil || len(lines) != 1 {
+		t.Fatalf("marshal: %v (%d lines)", err, len(lines))
+	}
+	s, err := ParseSentence(lines[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	asm := NewAssembler()
+	avg := testing.AllocsPerRun(200, func() {
+		m, err := asm.Push(s, at)
+		if err != nil || m == nil {
+			t.Fatalf("push: %v %v", m, err)
+		}
+	})
+	t.Logf("Assembler.Push (single fragment): %.2f allocs/sentence", avg)
+	if avg > 2 {
+		t.Errorf("single-fragment Push allocates %.2f, budget 2", avg)
+	}
+}

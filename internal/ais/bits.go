@@ -143,10 +143,17 @@ func armorEncode(buf []byte, nbit int) (payload string, fillBits int) {
 // must be the sentence's fill field (0..5); it is validated here too so
 // the decoder is safe on inputs that bypassed sentence parsing.
 func armorDecode(payload string, fillBits int) ([]byte, int, error) {
+	return armorDecodeInto(nil, payload, fillBits)
+}
+
+// armorDecodeInto is armorDecode writing into dst (grown as needed and
+// returned), so decode paths can reuse a pooled buffer instead of
+// growing a fresh one per sentence.
+func armorDecodeInto(dst []byte, payload string, fillBits int) ([]byte, int, error) {
 	if fillBits < 0 || fillBits > 5 {
-		return nil, 0, errBadFillBits(fillBits)
+		return dst, 0, errBadFillBits(fillBits)
 	}
-	w := bitWriter{}
+	w := bitWriter{buf: dst[:0]}
 	for i := 0; i < len(payload); i++ {
 		c := payload[i]
 		var v byte
@@ -156,7 +163,7 @@ func armorDecode(payload string, fillBits int) ([]byte, int, error) {
 		case c >= 96 && c < 120:
 			v = c - 56
 		default:
-			return nil, 0, errBadPayloadChar(c)
+			return w.buf, 0, errBadPayloadChar(c)
 		}
 		w.writeUint(uint64(v), 6)
 	}

@@ -40,7 +40,11 @@ func formatSentence(s Sentence) string {
 	return fmt.Sprintf("!%s*%02X", body, checksum(body))
 }
 
-// ParseSentence parses and checksum-validates one NMEA line.
+// ParseSentence parses and checksum-validates one NMEA line. The happy
+// path is allocation-free: every Sentence field is a substring of the
+// input line and the comma split indexes in place instead of building a
+// field slice — a live receiver feed parses millions of lines, so the
+// parse cost is pure CPU with no garbage.
 func ParseSentence(line string) (Sentence, error) {
 	line = strings.TrimSpace(line)
 	if len(line) < 10 || line[0] != '!' {
@@ -58,10 +62,22 @@ func ParseSentence(line string) (Sentence, error) {
 	if got := checksum(body); got != byte(wantSum) {
 		return Sentence{}, fmt.Errorf("ais: checksum mismatch: got %02X want %02X", got, wantSum)
 	}
-	fields := strings.Split(body, ",")
-	if len(fields) != 7 {
-		return Sentence{}, fmt.Errorf("ais: expected 7 fields, got %d", len(fields))
+	var fields [7]string
+	n := 0
+	rest := body
+	for n < 6 {
+		comma := strings.IndexByte(rest, ',')
+		if comma < 0 {
+			break
+		}
+		fields[n] = rest[:comma]
+		rest = rest[comma+1:]
+		n++
 	}
+	if n < 6 || strings.IndexByte(rest, ',') >= 0 {
+		return Sentence{}, fmt.Errorf("ais: expected 7 fields: %q", line)
+	}
+	fields[6] = rest
 	if fields[0] != "AIVDM" && fields[0] != "AIVDO" {
 		return Sentence{}, fmt.Errorf("ais: unsupported talker %q", fields[0])
 	}
@@ -205,12 +221,28 @@ func (a *Assembler) Pending() int {
 	return len(a.pending)
 }
 
+// payloadBufPool recycles the de-armored bit buffers of decodePayload:
+// the decoder copies everything it keeps (strings are materialised,
+// numeric fields are values), so the buffer can be returned to the pool
+// as soon as Decode finishes — one sentence, zero buffer garbage.
+var payloadBufPool = sync.Pool{
+	New: func() any {
+		b := make([]byte, 0, 64) // type 5 payloads need ~53 bytes
+		return &b
+	},
+}
+
 func decodePayload(payload string, fillBits int, receivedAt time.Time) (Message, error) {
-	buf, nbit, err := armorDecode(payload, fillBits)
+	bp := payloadBufPool.Get().(*[]byte)
+	buf, nbit, err := armorDecodeInto(*bp, payload, fillBits)
+	*bp = buf
 	if err != nil {
+		payloadBufPool.Put(bp)
 		return nil, err
 	}
-	return Decode(buf, nbit, receivedAt)
+	m, err := Decode(buf, nbit, receivedAt)
+	payloadBufPool.Put(bp)
+	return m, err
 }
 
 // MarshalClassBStatic encodes the static data of a class B vessel as

@@ -235,6 +235,14 @@ func (k *KV) HSetMulti(key string, fields map[string]string) (int, error) {
 	return k.inner.HSetMulti(key, fields)
 }
 
+// HSetFields implements the slice-based batched hash write with faults.
+func (k *KV) HSetFields(key string, fields []kvstore.Field) (int, error) {
+	if err := k.in.fault("kv.HSetFields"); err != nil {
+		return 0, err
+	}
+	return k.inner.HSetFields(key, fields)
+}
+
 // HGetAll implements the hash read with faults.
 func (k *KV) HGetAll(key string) (map[string]string, error) {
 	if err := k.in.fault("kv.HGetAll"); err != nil {

@@ -26,6 +26,7 @@ import (
 	"time"
 
 	"seatwin/internal/ais"
+	"seatwin/internal/kvstore"
 )
 
 // Version is the current encoding version, stored in every checkpoint.
@@ -36,6 +37,12 @@ const KeyPrefix = "ckpt:"
 
 // Key returns the store key of a vessel's checkpoint hash.
 func Key(mmsi ais.MMSI) string { return KeyPrefix + mmsi.String() }
+
+// AppendKey appends the store key of a vessel's checkpoint hash to b.
+func AppendKey(b []byte, mmsi ais.MMSI) []byte {
+	b = append(b, KeyPrefix...)
+	return mmsi.Append(b)
+}
 
 // Store is the slice of the kvstore surface checkpoints need; both
 // *kvstore.Store and the chaos fault-injection wrapper satisfy it.
@@ -67,31 +74,75 @@ func (s Snapshot) LastSeen() time.Time {
 // bit-identical model inputs, and timestamps carry nanoseconds so the
 // replay dedup comparison in the vessel actor stays exact.
 func Encode(s Snapshot) map[string]string {
-	var b strings.Builder
-	b.Grow(len(s.Reports) * 64)
-	for i, r := range s.Reports {
-		if i > 0 {
-			b.WriteByte(';')
-		}
-		b.WriteString(encodeReport(r))
-	}
 	return map[string]string{
 		"v":       strconv.Itoa(Version),
 		"n":       strconv.Itoa(len(s.Reports)),
 		"last_ts": strconv.FormatInt(s.LastSeen().UnixNano(), 10),
-		"hist":    b.String(),
+		"hist":    string(AppendHistory(make([]byte, 0, len(s.Reports)*64), s.Reports)),
 	}
 }
 
-// encodeReport renders one report as comma-separated fields:
+// AppendReport appends one report as comma-separated fields:
 // unixnano,lat,lon,sog,cog,heading,status,class.
-func encodeReport(r ais.PositionReport) string {
-	f := func(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
-	return strconv.FormatInt(r.Timestamp.UnixNano(), 10) + "," +
-		f(r.Lat) + "," + f(r.Lon) + "," + f(r.SOG) + "," + f(r.COG) + "," +
-		strconv.Itoa(r.Heading) + "," +
-		strconv.Itoa(int(r.Status)) + "," +
-		strconv.Itoa(int(r.Class))
+func AppendReport(b []byte, r ais.PositionReport) []byte {
+	b = strconv.AppendInt(b, r.Timestamp.UnixNano(), 10)
+	b = append(b, ',')
+	b = strconv.AppendFloat(b, r.Lat, 'g', -1, 64)
+	b = append(b, ',')
+	b = strconv.AppendFloat(b, r.Lon, 'g', -1, 64)
+	b = append(b, ',')
+	b = strconv.AppendFloat(b, r.SOG, 'g', -1, 64)
+	b = append(b, ',')
+	b = strconv.AppendFloat(b, r.COG, 'g', -1, 64)
+	b = append(b, ',')
+	b = strconv.AppendInt(b, int64(r.Heading), 10)
+	b = append(b, ',')
+	b = strconv.AppendInt(b, int64(r.Status), 10)
+	b = append(b, ',')
+	return strconv.AppendInt(b, int64(r.Class), 10)
+}
+
+// AppendHistory appends the ';'-joined encoded report window to b.
+func AppendHistory(b []byte, reports []ais.PositionReport) []byte {
+	for i, r := range reports {
+		if i > 0 {
+			b = append(b, ';')
+		}
+		b = AppendReport(b, r)
+	}
+	return b
+}
+
+// Encoder renders snapshots into reused buffers so a steady checkpoint
+// cadence costs one string conversion per save instead of one string
+// per report field. Not safe for concurrent use; each writer actor owns
+// one.
+type Encoder struct {
+	buf    []byte
+	fields []kvstore.Field
+}
+
+// Fields encodes s exactly like Encode but as a field slice for
+// HSetFields, with all four values sharing one backing string. The
+// returned slice and its values are valid until the next call.
+func (e *Encoder) Fields(s Snapshot) []kvstore.Field {
+	b := e.buf[:0]
+	b = strconv.AppendInt(b, Version, 10)
+	vEnd := len(b)
+	b = strconv.AppendInt(b, int64(len(s.Reports)), 10)
+	nEnd := len(b)
+	b = strconv.AppendInt(b, s.LastSeen().UnixNano(), 10)
+	tsEnd := len(b)
+	b = AppendHistory(b, s.Reports)
+	e.buf = b
+	doc := string(b)
+	e.fields = append(e.fields[:0],
+		kvstore.Field{Name: "v", Value: doc[:vEnd]},
+		kvstore.Field{Name: "n", Value: doc[vEnd:nEnd]},
+		kvstore.Field{Name: "last_ts", Value: doc[nEnd:tsEnd]},
+		kvstore.Field{Name: "hist", Value: doc[tsEnd:]},
+	)
+	return e.fields
 }
 
 // Decode parses a field map written by Encode back into a snapshot for

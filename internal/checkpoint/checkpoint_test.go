@@ -135,3 +135,46 @@ func TestLoadSurfacesCorruption(t *testing.T) {
 		t.Fatalf("corrupt checkpoint: ok=%v err=%v (want error so callers cold-start)", ok, err)
 	}
 }
+
+// TestEncoderFieldsMatchesEncode pins the fast path to the reference
+// encoding: a snapshot written through Encoder.Fields must decode to
+// the same window Encode produces, and the rendered values must be
+// byte-identical field for field. It also exercises buffer reuse — a
+// second, different snapshot through the same Encoder must not be
+// corrupted by the first.
+func TestEncoderFieldsMatchesEncode(t *testing.T) {
+	var enc Encoder
+	for _, n := range []int{48, 3, 0} {
+		in := window(ais.MMSI(239000001+n), n)
+		ref := Encode(in)
+		fields := enc.Fields(in)
+		if len(fields) != len(ref) {
+			t.Fatalf("n=%d: %d fields, want %d", n, len(fields), len(ref))
+		}
+		got := make(map[string]string, len(fields))
+		for _, f := range fields {
+			got[f.Name] = f.Value
+		}
+		for k, v := range ref {
+			if got[k] != v {
+				t.Fatalf("n=%d field %q = %q, want %q", n, k, got[k], v)
+			}
+		}
+		out, err := Decode(in.MMSI, got)
+		if err != nil {
+			t.Fatalf("n=%d decode: %v", n, err)
+		}
+		if len(out.Reports) != n || !out.LastSeen().Equal(in.LastSeen()) {
+			t.Fatalf("n=%d round trip: %d reports, last %v", n, len(out.Reports), out.LastSeen())
+		}
+	}
+}
+
+// TestAppendKeyMatchesKey pins the alloc-free key renderer to Key.
+func TestAppendKeyMatchesKey(t *testing.T) {
+	for _, m := range []ais.MMSI{0, 1, 239000001, 999999999, 1073741824} {
+		if got, want := string(AppendKey(nil, m)), Key(m); got != want {
+			t.Fatalf("AppendKey(%d) = %q, want %q", m, got, want)
+		}
+	}
+}

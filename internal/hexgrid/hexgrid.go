@@ -269,19 +269,28 @@ func (c Cell) GridDisk(k int) []Cell {
 	if !c.Valid() || k < 0 {
 		return nil
 	}
+	return c.AppendGridDisk(make([]Cell, 0, 1+3*k*(k+1)), k)
+}
+
+// AppendGridDisk appends the k-disk of c to dst and returns the
+// extended slice — the allocation-free variant hot paths use with a
+// reused scratch slice.
+func (c Cell) AppendGridDisk(dst []Cell, k int) []Cell {
+	if !c.Valid() || k < 0 {
+		return dst
+	}
 	res := c.Resolution()
 	cq, cr := c.axial()
-	out := make([]Cell, 0, 1+3*k*(k+1))
 	for dq := -k; dq <= k; dq++ {
 		lo := max(-k, -dq-k)
 		hi := min(k, -dq+k)
 		for dr := lo; dr <= hi; dr++ {
 			if cell := makeCell(res, cq+dq, cr+dr); cell != InvalidCell {
-				out = append(out, cell)
+				dst = append(dst, cell)
 			}
 		}
 	}
-	return out
+	return dst
 }
 
 // GridRing returns the cells exactly k steps from c (6k cells for k>0).
@@ -400,9 +409,15 @@ func Cover(b geo.BBox, res int) []Cell {
 // be shared with so that no geographically close pair is split across
 // unexamined cells.
 func DiskCovering(p geo.Point, res int, radiusMeters float64) []Cell {
+	return AppendDiskCovering(nil, p, res, radiusMeters)
+}
+
+// AppendDiskCovering is DiskCovering appending into dst — the
+// allocation-free variant for per-report fan-out with reused scratch.
+func AppendDiskCovering(dst []Cell, p geo.Point, res int, radiusMeters float64) []Cell {
 	c := LatLonToCell(p, res)
 	if c == InvalidCell {
-		return nil
+		return dst
 	}
 	perLat, _ := geo.MetersPerDegree(0)
 	planeDeg := radiusMeters / perLat
@@ -413,7 +428,7 @@ func DiskCovering(p geo.Point, res int, radiusMeters float64) []Cell {
 	// Grid distance k spans at least 1.5*R*k in the plane (hexagon
 	// apothem stacking), so this k covers maxPlane.
 	k := int(math.Ceil(maxPlane / (1.5 * Radius(res)))) // ≥ 0
-	return c.GridDisk(k)
+	return c.AppendGridDisk(dst, k)
 }
 
 // TraceLine returns the distinct cells visited along the segment from a
@@ -422,13 +437,21 @@ func DiskCovering(p geo.Point, res int, radiusMeters float64) []Cell {
 // the given resolution. Segments crossing the antimeridian seam return
 // only the cells on each side (documented projection limitation).
 func TraceLine(a, b geo.Point, res int) []Cell {
+	return AppendTraceLine(nil, a, b, res)
+}
+
+// AppendTraceLine is TraceLine appending into dst — the allocation-free
+// variant for tracing many forecast segments through one reused scratch
+// slice. The "distinct, in travel order" contract applies to the cells
+// appended by this call, not across the whole of dst.
+func AppendTraceLine(dst []Cell, a, b geo.Point, res int) []Cell {
 	ca := LatLonToCell(a, res)
 	cb := LatLonToCell(b, res)
 	if ca == InvalidCell || cb == InvalidCell {
-		return nil
+		return dst
 	}
 	if ca == cb {
-		return []Cell{ca}
+		return append(dst, ca)
 	}
 	dist := geo.Haversine(a, b)
 	// Half-edge sampling cannot skip a cell in the projected plane; the
@@ -438,20 +461,20 @@ func TraceLine(a, b geo.Point, res int) []Cell {
 	shear := math.Abs(geo.NormalizeLon(mid.Lon)*math.Sin(mid.Lat*math.Pi/180)) * math.Pi / 180
 	step := EdgeLengthMeters(res) / (2 * (1 + shear))
 	n := int(dist/step) + 1
-	out := []Cell{ca}
+	dst = append(dst, ca)
 	last := ca
 	for i := 1; i <= n; i++ {
 		p := geo.Interpolate(a, b, float64(i)/float64(n))
 		c := LatLonToCell(p, res)
 		if c != InvalidCell && c != last {
-			out = append(out, c)
+			dst = append(dst, c)
 			last = c
 		}
 	}
 	if last != cb {
-		out = append(out, cb)
+		dst = append(dst, cb)
 	}
-	return out
+	return dst
 }
 
 func abs(v int) int {

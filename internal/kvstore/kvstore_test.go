@@ -129,6 +129,33 @@ func TestHashOps(t *testing.T) {
 	}
 }
 
+func TestHSetFields(t *testing.T) {
+	s := New()
+	defer s.Close()
+	added, err := s.HSetFields("vessel:124", []Field{
+		{Name: "lat", Value: "37.9"},
+		{Name: "lon", Value: "23.6"},
+		{Name: "lat", Value: "38.0"}, // later duplicate wins, not re-counted
+	})
+	if err != nil || added != 2 {
+		t.Fatalf("hsetfields: added=%d err=%v", added, err)
+	}
+	m, err := s.HGetAll("vessel:124")
+	if err != nil || len(m) != 2 || m["lat"] != "38.0" || m["lon"] != "23.6" {
+		t.Fatalf("hgetall: %v %v", m, err)
+	}
+	// Rewriting the same document reports zero new fields, like HSetMulti.
+	added, err = s.HSetFields("vessel:124", []Field{
+		{Name: "lat", Value: "38.1"}, {Name: "lon", Value: "23.7"},
+	})
+	if err != nil || added != 0 {
+		t.Fatalf("rewrite: added=%d err=%v", added, err)
+	}
+	if v, ok, _ := s.HGet("vessel:124", "lat"); !ok || v != "38.1" {
+		t.Fatalf("lat = %q %v", v, ok)
+	}
+}
+
 func TestZSetBasics(t *testing.T) {
 	s := New()
 	defer s.Close()

@@ -1,12 +1,12 @@
 package pipeline
 
 import (
-	"fmt"
 	"strconv"
 	"time"
 
 	"seatwin/internal/actor"
 	"seatwin/internal/ais"
+	"seatwin/internal/checkpoint"
 	"seatwin/internal/events"
 	"seatwin/internal/feed"
 	"seatwin/internal/geo"
@@ -65,6 +65,13 @@ type vesselActor struct {
 	// Stopping snapshot is skipped when nothing changed).
 	sinceCkpt int
 	dirty     bool
+
+	// Fan-out scratch, reused across reports (the actor is
+	// single-threaded): cell lists from the hexgrid Append* helpers and
+	// the per-report dedup set of forecast cells.
+	cellScratch []hexgrid.Cell
+	diskScratch []hexgrid.Cell
+	seenCells   map[hexgrid.Cell]struct{}
 }
 
 func newVesselActor(p *Pipeline, mmsi ais.MMSI) *vesselActor {
@@ -124,8 +131,13 @@ func (v *vesselActor) onPosition(c *actor.Context, m posMsg) {
 	}
 	v.history = append(v.history, r)
 	if len(v.history) > v.p.cfg.HistoryLimit {
+		// Trim in place: nothing downstream retains a view of history
+		// (the forecasters read it synchronously and build fresh points;
+		// checkpoints copy explicitly), so sliding the window within the
+		// same buffer avoids reallocating it on every report.
 		drop := len(v.history) - v.p.cfg.HistoryLimit
-		v.history = append(v.history[:0:0], v.history[drop:]...)
+		n := copy(v.history, v.history[drop:])
+		v.history = v.history[:n]
 	}
 	// Periodic checkpoint: every ckptInterval accepted reports a copy of
 	// the window rides the writer path (one batched HSetMulti), so a
@@ -163,10 +175,15 @@ func (v *vesselActor) onPosition(c *actor.Context, m posMsg) {
 
 	if !v.p.cfg.DisableEventFanout {
 		// Positions go to the proximity cell actor of the report's cell
-		// and near neighbours, so borders cannot hide a close pair.
+		// and near neighbours, so borders cannot hide a close pair. The
+		// cell list is built into the actor's reused scratch slice.
 		pos := geo.Point{Lat: r.Lat, Lon: r.Lon}
-		for _, cell := range hexgrid.DiskCovering(pos, v.p.cfg.ProximityResolution, v.p.cfg.Proximity.ThresholdMeters) {
-			c.Send(v.p.proximityActor(cell), cellPosMsg{mmsi: r.MMSI, pos: pos, at: r.Timestamp})
+		v.cellScratch = hexgrid.AppendDiskCovering(v.cellScratch[:0], pos, v.p.cfg.ProximityResolution, v.p.cfg.Proximity.ThresholdMeters)
+		// Box the (immutable) message once and share it across every
+		// destination cell instead of re-boxing per Send.
+		var cpm any = cellPosMsg{mmsi: r.MMSI, pos: pos, at: r.Timestamp}
+		for _, cell := range v.cellScratch {
+			c.Send(v.p.proximityActor(cell), cpm)
 		}
 		// Forecasts go to the collision actors of every cell the
 		// predicted track crosses plus each nearest neighbour (§5.2:
@@ -174,24 +191,31 @@ func (v *vesselActor) onPosition(c *actor.Context, m posMsg) {
 		// the segments between forecast points keeps fast vessels from
 		// skipping cells that lie between two 5-minute positions.
 		if haveForecast {
-			seen := make(map[hexgrid.Cell]struct{}, 16)
+			if v.seenCells == nil {
+				v.seenCells = make(map[hexgrid.Cell]struct{}, 32)
+			}
+			seen := v.seenCells
+			clear(seen)
 			for i := 1; i < len(forecast.Points); i++ {
-				for _, cell := range hexgrid.TraceLine(
+				v.cellScratch = hexgrid.AppendTraceLine(v.cellScratch[:0],
 					forecast.Points[i-1].Pos, forecast.Points[i].Pos,
-					v.p.cfg.CollisionResolution) {
+					v.p.cfg.CollisionResolution)
+				for _, cell := range v.cellScratch {
 					if _, dup := seen[cell]; dup {
 						continue
 					}
 					seen[cell] = struct{}{}
-					for _, n := range cell.GridDisk(1) {
+					v.diskScratch = cell.AppendGridDisk(v.diskScratch[:0], 1)
+					for _, n := range v.diskScratch {
 						if _, dup := seen[n]; !dup {
 							seen[n] = struct{}{}
 						}
 					}
 				}
 			}
+			var fm any = forecastMsg{forecast: forecast, at: r.Timestamp}
 			for cell := range seen {
-				c.Send(v.p.collisionActor(cell), forecastMsg{forecast: forecast, at: r.Timestamp})
+				c.Send(v.p.collisionActor(cell), fm)
 			}
 		}
 	}
@@ -230,10 +254,11 @@ func (a *cellActor) Receive(c *actor.Context) {
 	}
 	for _, e := range a.detector.Update(m.mmsi, m.pos, m.at) {
 		a.p.log.Append(e)
-		c.Send(a.p.writerFor(e.A), eventMsg{event: e})
+		var em any = eventMsg{event: e}
+		c.Send(a.p.writerFor(e.A), em)
 		// Communicate the state back to the affected vessel actors.
-		c.Send(a.p.vesselActor(e.A), eventMsg{event: e})
-		c.Send(a.p.vesselActor(e.B), eventMsg{event: e})
+		c.Send(a.p.vesselActor(e.A), em)
+		c.Send(a.p.vesselActor(e.B), em)
 	}
 }
 
@@ -262,17 +287,55 @@ func (a *collisionActor) Receive(c *actor.Context) {
 			continue
 		}
 		a.p.log.Append(e)
-		c.Send(a.p.writerFor(e.A), eventMsg{event: e})
-		c.Send(a.p.vesselActor(e.A), eventMsg{event: e})
-		c.Send(a.p.vesselActor(e.B), eventMsg{event: e})
+		var em any = eventMsg{event: e}
+		c.Send(a.p.writerFor(e.A), em)
+		c.Send(a.p.vesselActor(e.A), em)
+		c.Send(a.p.vesselActor(e.B), em)
 	}
 }
 
 // writerActor persists actor outputs into the kvstore middleware: the
 // vessel state hash, the event sorted set and a pub/sub notification —
 // the read side the HTTP API serves.
+//
+// The actor is single-threaded, so its encoding scratch (field encoder,
+// event-member buffer, per-vessel key cache) is reused across messages
+// without locks — the write path allocates almost nothing per state.
 type writerActor struct {
-	p *Pipeline
+	p       *Pipeline
+	enc     fieldEncoder
+	ckptEnc checkpoint.Encoder
+	evBuf   []byte
+	// keys caches the rendered store key and 9-digit member string per
+	// vessel routed to this writer (bounded by the fleet slice this
+	// writer owns; entries are tiny).
+	keys map[ais.MMSI]writerKeys
+}
+
+// writerKeys are the per-vessel strings a state write needs.
+type writerKeys struct {
+	stateKey string // "vessel:" + 9-digit MMSI
+	ckptKey  string // "ckpt:" + 9-digit MMSI
+	mmsi     string // 9-digit MMSI (the active-set member)
+}
+
+// keysFor returns (building on first sight) the cached key strings of
+// a vessel.
+func (w *writerActor) keysFor(m ais.MMSI) writerKeys {
+	if k, ok := w.keys[m]; ok {
+		return k
+	}
+	if w.keys == nil {
+		w.keys = make(map[ais.MMSI]writerKeys, 256)
+	}
+	b := m.Append(make([]byte, 0, 16+9))
+	k := writerKeys{
+		stateKey: "vessel:" + string(b),
+		ckptKey:  checkpoint.KeyPrefix + string(b),
+		mmsi:     string(b),
+	}
+	w.keys[m] = k
+	return k
 }
 
 // Receive implements actor.Actor.
@@ -283,7 +346,8 @@ func (w *writerActor) Receive(c *actor.Context) {
 	case eventMsg:
 		w.writeEvent(m.event)
 	case ckptMsg:
-		w.p.saveCheckpoint(m.mmsi, m.reports)
+		ks := w.keysFor(m.mmsi)
+		w.p.saveCheckpointFields(ks.ckptKey, m.mmsi, m.reports, &w.ckptEnc)
 	}
 }
 
@@ -294,11 +358,11 @@ type StateOutput struct {
 }
 
 func (w *writerActor) writeState(m stateMsg) {
+	ks := w.keysFor(m.report.MMSI)
 	if ob := w.p.cfg.OutputBroker; ob != nil {
-		ob.Produce(w.p.cfg.OutputStatesTopic, m.report.MMSI.String(),
+		ob.Produce(w.p.cfg.OutputStatesTopic, ks.mmsi,
 			StateOutput{Report: m.report, Forecast: m.forecast})
 	}
-	key := "vessel:" + m.report.MMSI.String()
 	st := w.p.kv
 	static, haveStatic := w.p.Static(m.report.MMSI)
 	if w.p.cfg.Feed != nil {
@@ -314,34 +378,45 @@ func (w *writerActor) writeState(m stateMsg) {
 			Forecast: m.forecast,
 		})
 	}
-	// One batched write per state update: a single lock acquisition on
-	// the store instead of one per field.
-	fields := map[string]string{
-		"lat":    strconv.FormatFloat(m.report.Lat, 'f', 5, 64),
-		"lon":    strconv.FormatFloat(m.report.Lon, 'f', 5, 64),
-		"sog":    strconv.FormatFloat(m.report.SOG, 'f', 1, 64),
-		"cog":    strconv.FormatFloat(m.report.COG, 'f', 1, 64),
-		"status": m.report.Status.String(),
-		"ts":     m.report.Timestamp.UTC().Format(time.RFC3339),
-	}
+	// One batched write per state update — a single lock acquisition on
+	// the store — with the whole document encoded into the writer's
+	// reused field encoder: every value is appended into one shared
+	// buffer and materialised by a single string conversion (status and
+	// name are constant strings and aren't even copied).
+	e := &w.enc
+	e.reset()
+	e.buf = strconv.AppendFloat(e.buf, m.report.Lat, 'f', 5, 64)
+	e.commit("lat")
+	e.buf = strconv.AppendFloat(e.buf, m.report.Lon, 'f', 5, 64)
+	e.commit("lon")
+	e.buf = strconv.AppendFloat(e.buf, m.report.SOG, 'f', 1, 64)
+	e.commit("sog")
+	e.buf = strconv.AppendFloat(e.buf, m.report.COG, 'f', 1, 64)
+	e.commit("cog")
+	e.direct("status", m.report.Status.String())
+	e.buf = m.report.Timestamp.UTC().AppendFormat(e.buf, time.RFC3339)
+	e.commit("ts")
 	if len(m.forecast) > 0 {
-		fields["forecast"] = encodeForecast(m.forecast)
+		e.buf = appendForecast(e.buf, m.forecast)
+		e.commit("forecast")
 	}
 	if haveStatic {
-		fields["name"] = static.Name
-		fields["type"] = strconv.Itoa(int(static.ShipType))
+		e.direct("name", static.Name)
+		e.buf = strconv.AppendInt(e.buf, int64(static.ShipType), 10)
+		e.commit("type")
 	}
+	fields := e.finish()
 	// Writes go through the retry policy; an exhausted write is dropped
 	// (degraded mode, counted in seatwin_retry_exhausted_total) — the
 	// next report for this vessel rewrites the full document anyway.
 	hint := uint64(m.report.MMSI)
 	w.p.retryDo(hint, func() error {
-		_, err := st.HSetMulti(key, fields)
+		_, err := st.HSetFields(ks.stateKey, fields)
 		return err
 	})
 	// The active-vessel index, scored by last report time.
 	w.p.retryDo(hint, func() error {
-		_, err := st.ZAdd("vessels:active", float64(m.report.Timestamp.Unix()), m.report.MMSI.String())
+		_, err := st.ZAdd("vessels:active", float64(m.report.Timestamp.Unix()), ks.mmsi)
 		return err
 	})
 }
@@ -353,8 +428,21 @@ func (w *writerActor) writeEvent(e events.Event) {
 	if w.p.cfg.Feed != nil {
 		w.p.system.Events().Publish(e)
 	}
-	member := fmt.Sprintf("%s|%s|%s|%.0fm|%s",
-		e.Kind, e.A, e.B, e.Meters, e.At.UTC().Format(time.RFC3339))
+	// The member is byte-appended into the writer's reused buffer —
+	// the format matches the fmt.Sprintf("%s|%s|%s|%.0fm|%s") it
+	// replaces, including the MMSIs' 9-digit padding.
+	b := w.evBuf[:0]
+	b = append(b, string(e.Kind)...)
+	b = append(b, '|')
+	b = e.A.Append(b)
+	b = append(b, '|')
+	b = e.B.Append(b)
+	b = append(b, '|')
+	b = strconv.AppendFloat(b, e.Meters, 'f', 0, 64)
+	b = append(b, 'm', '|')
+	b = e.At.UTC().AppendFormat(b, time.RFC3339)
+	w.evBuf = b
+	member := string(b)
 	w.p.retryDo(uint64(e.A), func() error {
 		_, err := w.p.kv.ZAdd("events:"+string(e.Kind), float64(e.At.Unix()), member)
 		return err
@@ -362,11 +450,10 @@ func (w *writerActor) writeEvent(e events.Event) {
 	w.p.kv.Publish("events", member)
 }
 
-// encodeForecast renders forecast points compactly for the store:
+// appendForecast renders forecast points compactly for the store:
 // "lat,lon,unix;..." — small enough for a hash field and trivially
 // parseable by the API layer.
-func encodeForecast(pts []events.ForecastPoint) string {
-	buf := make([]byte, 0, len(pts)*32)
+func appendForecast(buf []byte, pts []events.ForecastPoint) []byte {
 	for i, p := range pts {
 		if i > 0 {
 			buf = append(buf, ';')
@@ -377,5 +464,5 @@ func encodeForecast(pts []events.ForecastPoint) string {
 		buf = append(buf, ',')
 		buf = strconv.AppendInt(buf, p.At.Unix(), 10)
 	}
-	return string(buf)
+	return buf
 }

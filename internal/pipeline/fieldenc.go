@@ -1,0 +1,56 @@
+package pipeline
+
+import "seatwin/internal/kvstore"
+
+// fieldEncoder builds a []kvstore.Field document with one allocation
+// for all encoded values: numeric fields are appended into a shared
+// byte buffer with strconv.Append*/AppendFormat, and finish converts
+// the buffer to a string once, slicing each field's value out of it.
+// Constant-string values (status names, cached static names) are added
+// with direct and never copied at all.
+//
+// The encoder is owned by one writer actor (single-threaded), so the
+// buffer and field slices are reused across states with no locking.
+type fieldEncoder struct {
+	buf    []byte
+	fields []kvstore.Field
+	// ends[i] is the end offset of field i's value in buf, or -1 for a
+	// direct (pre-existing string) value.
+	ends []int
+}
+
+// reset prepares the encoder for the next document.
+func (e *fieldEncoder) reset() {
+	e.buf = e.buf[:0]
+	e.fields = e.fields[:0]
+	e.ends = e.ends[:0]
+}
+
+// commit seals the bytes appended to e.buf since the previous commit
+// as the value of name.
+func (e *fieldEncoder) commit(name string) {
+	e.fields = append(e.fields, kvstore.Field{Name: name})
+	e.ends = append(e.ends, len(e.buf))
+}
+
+// direct adds a field whose value is an existing string, bypassing the
+// buffer.
+func (e *fieldEncoder) direct(name, value string) {
+	e.fields = append(e.fields, kvstore.Field{Name: name, Value: value})
+	e.ends = append(e.ends, -1)
+}
+
+// finish materialises the buffer as one string and resolves every
+// committed field's value as a substring of it. The returned slice is
+// valid until the next reset.
+func (e *fieldEncoder) finish() []kvstore.Field {
+	s := string(e.buf)
+	start := 0
+	for i := range e.fields {
+		if end := e.ends[i]; end >= 0 {
+			e.fields[i].Value = s[start:end]
+			start = end
+		}
+	}
+	return e.fields
+}

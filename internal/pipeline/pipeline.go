@@ -134,6 +134,7 @@ type Sample struct {
 // to the raw store (so "no lost committed state" stays checkable).
 type stateStore interface {
 	HSetMulti(key string, fields map[string]string) (int, error)
+	HSetFields(key string, fields []kvstore.Field) (int, error)
 	HGetAll(key string) (map[string]string, error)
 	ZAdd(key string, score float64, member string) (bool, error)
 	Publish(channel, payload string) int
@@ -150,6 +151,14 @@ type Pipeline struct {
 	log    *events.Log
 
 	writers []*actor.PID
+
+	// Route caches: integer entity key -> PID, skipping name building
+	// and registry string hashing on the per-report hot path. Entries
+	// are invalidated through the actor system's unregister hook (see
+	// routecache.go for the correctness model).
+	vesselRoutes    *routeCache
+	proximityRoutes *routeCache
+	collisionRoutes *routeCache
 
 	statics sync.Map // ais.MMSI -> ais.StaticVoyage, the shared cache
 
@@ -299,6 +308,10 @@ func New(cfg Config) (*Pipeline, error) {
 		samplerDone: make(chan struct{}),
 		assembler:   ais.NewAssembler(),
 
+		vesselRoutes:    newRouteCache(),
+		proximityRoutes: newRouteCache(),
+		collisionRoutes: newRouteCache(),
+
 		retryAttempts:  metrics.NewShardedCounter(0),
 		retryRetried:   metrics.NewShardedCounter(0),
 		retryExhausted: metrics.NewShardedCounter(0),
@@ -334,6 +347,9 @@ func New(cfg Config) (*Pipeline, error) {
 			return nil, err
 		}
 	}
+	// Route-cache invalidation rides the registry's unregister hook:
+	// stopped or passivated actors drop their cached routes.
+	p.system.OnUnregister(p.onActorUnregistered)
 	if cfg.Feed != nil {
 		p.feedDetach = cfg.Feed.AttachStream(p.system.Events())
 	}
@@ -456,6 +472,24 @@ func (p *Pipeline) saveCheckpoint(mmsi ais.MMSI, reports []ais.PositionReport) {
 	}
 }
 
+// saveCheckpointFields is the writer actors' fast path around
+// saveCheckpoint: the key is pre-rendered and cached per vessel, and
+// the snapshot is encoded through the writer's reused checkpoint
+// encoder straight into the store's append-based HSetFields — one
+// string conversion per snapshot instead of one per report field.
+func (p *Pipeline) saveCheckpointFields(key string, mmsi ais.MMSI, reports []ais.PositionReport, enc *checkpoint.Encoder) {
+	hint := uint64(mmsi)
+	s := checkpoint.Snapshot{MMSI: mmsi, Reports: reports}
+	if p.retryDo(hint, func() error {
+		_, err := p.kv.HSetFields(key, enc.Fields(s))
+		return err
+	}) {
+		p.ckptSaves.Inc(hint, 1)
+	} else {
+		p.ckptFailures.Inc(hint, 1)
+	}
+}
+
 // loadCheckpoint rehydrates one vessel's history window, bounded by
 // HistoryLimit. ok is false when there is no usable checkpoint — a
 // corrupt or unreadable one degrades to a cold start and is counted.
@@ -563,15 +597,121 @@ func (p *Pipeline) IngestNMEA(line string, receivedAt time.Time) error {
 // BadSentences returns how many undecodable NMEA lines were dropped.
 func (p *Pipeline) BadSentences() int64 { return atomic.LoadInt64(&p.badSentences) }
 
+// TimedMessage pairs a decoded AIS message with its receive time, the
+// unit of batched ingestion.
+type TimedMessage struct {
+	Msg        ais.Message
+	ReceivedAt time.Time
+}
+
+// batchGroup collects one vessel's messages within a batch so the
+// mailbox lock and the scheduling decision are paid once per vessel per
+// round instead of once per report.
+type batchGroup struct {
+	pid  *actor.PID
+	msgs []any
+}
+
+// ingestBatcher is the reusable scratch state of IngestBatch: an
+// MMSI->group index plus the group list itself. Pooled — steady-state
+// batch ingestion allocates nothing for the grouping.
+type ingestBatcher struct {
+	index  map[ais.MMSI]int
+	groups []batchGroup
+}
+
+var batcherPool = sync.Pool{
+	New: func() any {
+		return &ingestBatcher{index: make(map[ais.MMSI]int, 64)}
+	},
+}
+
+// group returns the batch group of mmsi, creating (and route-resolving)
+// it on first sight within the batch.
+func (b *ingestBatcher) group(p *Pipeline, mmsi ais.MMSI) *batchGroup {
+	if gi, ok := b.index[mmsi]; ok {
+		return &b.groups[gi]
+	}
+	gi := len(b.groups)
+	if gi < cap(b.groups) {
+		b.groups = b.groups[:gi+1]
+		b.groups[gi].pid = p.vesselActor(mmsi)
+	} else {
+		b.groups = append(b.groups, batchGroup{pid: p.vesselActor(mmsi)})
+	}
+	b.index[mmsi] = gi
+	return &b.groups[gi]
+}
+
+// release clears message references (they are owned by mailboxes now)
+// and returns the batcher to the pool.
+func (b *ingestBatcher) release() {
+	for i := range b.groups {
+		g := &b.groups[i]
+		g.pid = nil
+		for j := range g.msgs {
+			g.msgs[j] = nil
+		}
+		g.msgs = g.msgs[:0]
+	}
+	b.groups = b.groups[:0]
+	clear(b.index)
+	batcherPool.Put(b)
+}
+
+// IngestBatch routes one poll's worth of messages into the pipeline,
+// grouping position reports by MMSI and delivering each vessel's group
+// as one mailbox push (see actor.System.SendBatch). Per-vessel order is
+// preserved; cross-vessel order was never observable (distinct actors).
+// Static voyage documents are rare and take the single-message path.
+// Returns how many messages were accepted.
+func (p *Pipeline) IngestBatch(batch []TimedMessage) int {
+	if atomic.LoadInt32(&p.closed) == 1 || len(batch) == 0 {
+		return 0
+	}
+	b := batcherPool.Get().(*ingestBatcher)
+	n := 0
+	for _, tm := range batch {
+		switch m := tm.Msg.(type) {
+		case ais.StaticVoyage:
+			p.Ingest(m, tm.ReceivedAt)
+			n++
+		case ais.PositionReport:
+			p.messages.Inc(uint64(m.MMSI), 1)
+			atomic.AddInt64(&p.ingested, 1)
+			g := b.group(p, m.MMSI)
+			g.msgs = append(g.msgs, posMsg{report: m, receivedAt: tm.ReceivedAt})
+			n++
+		}
+	}
+	for i := range b.groups {
+		g := &b.groups[i]
+		if len(g.msgs) > 0 {
+			p.system.SendBatch(g.pid, g.msgs)
+		}
+	}
+	b.release()
+	return n
+}
+
 // vesselActor returns (spawning on first contact) the actor of a MMSI.
+// The hot path is one sharded int-keyed cache read; name building and
+// registry hashing only happen on first contact or after passivation.
 func (p *Pipeline) vesselActor(mmsi ais.MMSI) *actor.PID {
-	name := "v-" + strconv.FormatUint(uint64(mmsi), 10)
-	pid, spawned := p.system.GetOrSpawn(name, actor.PropsFromProducer(func() actor.Actor {
+	if pid := p.vesselRoutes.get(uint64(mmsi)); pid != nil {
+		return pid
+	}
+	return p.vesselActorSlow(mmsi)
+}
+
+func (p *Pipeline) vesselActorSlow(mmsi ais.MMSI) *actor.PID {
+	pid, spawned := p.system.GetOrSpawn(vesselActorName(mmsi), actor.PropsFromProducer(func() actor.Actor {
 		return newVesselActor(p, mmsi)
 	}))
 	if spawned {
 		atomic.AddInt64(&p.vessels, 1)
 	}
+	p.vesselRoutes.put(uint64(mmsi), pid)
 	return pid
 }
 
@@ -587,29 +727,45 @@ func (p *Pipeline) idleTimeout() time.Duration {
 	}
 }
 
-// proximityActor returns the cell actor of a proximity cell.
+// proximityActor returns the cell actor of a proximity cell, through
+// the sharded route cache like vesselActor.
 func (p *Pipeline) proximityActor(cell hexgrid.Cell) *actor.PID {
-	name := "px-" + strconv.FormatUint(uint64(cell), 16)
-	pid, _ := p.system.GetOrSpawn(name, actor.PropsFromProducer(func() actor.Actor {
+	if pid := p.proximityRoutes.get(uint64(cell)); pid != nil {
+		return pid
+	}
+	return p.proximityActorSlow(cell)
+}
+
+func (p *Pipeline) proximityActorSlow(cell hexgrid.Cell) *actor.PID {
+	pid, _ := p.system.GetOrSpawn(proximityActorName(cell), actor.PropsFromProducer(func() actor.Actor {
 		return &cellActor{
 			p:          p,
 			detector:   events.NewProximityDetector(p.cfg.Proximity),
 			passivator: newPassivator(p.idleTimeout()),
 		}
 	}))
+	p.proximityRoutes.put(uint64(cell), pid)
 	return pid
 }
 
-// collisionActor returns the collision actor of a collision cell.
+// collisionActor returns the collision actor of a collision cell,
+// through the sharded route cache like vesselActor.
 func (p *Pipeline) collisionActor(cell hexgrid.Cell) *actor.PID {
-	name := "cx-" + strconv.FormatUint(uint64(cell), 16)
-	pid, _ := p.system.GetOrSpawn(name, actor.PropsFromProducer(func() actor.Actor {
+	if pid := p.collisionRoutes.get(uint64(cell)); pid != nil {
+		return pid
+	}
+	return p.collisionActorSlow(cell)
+}
+
+func (p *Pipeline) collisionActorSlow(cell hexgrid.Cell) *actor.PID {
+	pid, _ := p.system.GetOrSpawn(collisionActorName(cell), actor.PropsFromProducer(func() actor.Actor {
 		return &collisionActor{
 			p:          p,
 			detector:   events.NewDetector(p.cfg.Collision, 10*time.Minute),
 			passivator: newPassivator(p.idleTimeout()),
 		}
 	}))
+	p.collisionRoutes.put(uint64(cell), pid)
 	return pid
 }
 
@@ -729,8 +885,22 @@ func (p *Pipeline) ConsumeLoop(c RecordConsumer, pollWait time.Duration) int {
 	return n
 }
 
+// timedBatchPool recycles the per-round record->TimedMessage staging
+// slice of consumeRound (concurrent ConsumeLoops each draw their own).
+var timedBatchPool = sync.Pool{
+	New: func() any {
+		s := make([]TimedMessage, 0, 512)
+		return &s
+	},
+}
+
 // consumeRound runs one poll/ingest/commit round, converting a panic
-// into an error so the loop above can back off and retry.
+// into an error so the loop above can back off and retry. The round
+// stages the poll into a TimedMessage batch and hands it to
+// IngestBatch, so each vessel's reports in the poll cost one mailbox
+// push instead of one per report. Commit still only runs after the
+// whole batch was enqueued (at-least-once is untouched: a faulted
+// round never commits and redelivers).
 func (p *Pipeline) consumeRound(c RecordConsumer, pollWait time.Duration) (ingested int, closed bool, err error) {
 	defer func() {
 		if r := recover(); r != nil {
@@ -741,12 +911,19 @@ func (p *Pipeline) consumeRound(c RecordConsumer, pollWait time.Duration) (inges
 	if recs == nil {
 		return ingested, true, nil
 	}
+	bp := timedBatchPool.Get().(*[]TimedMessage)
+	batch := (*bp)[:0]
 	for _, r := range recs {
 		if msg, ok := r.Value.(ais.Message); ok {
-			p.Ingest(msg, r.Timestamp)
-			ingested++
+			batch = append(batch, TimedMessage{Msg: msg, ReceivedAt: r.Timestamp})
 		}
 	}
+	ingested = p.IngestBatch(batch)
+	for i := range batch {
+		batch[i].Msg = nil
+	}
+	*bp = batch[:0]
+	timedBatchPool.Put(bp)
 	c.Commit()
 	return ingested, false, nil
 }
