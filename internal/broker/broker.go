@@ -274,6 +274,57 @@ func (b *Broker) Lag(topicName, groupName string) ([]int64, error) {
 	return out, nil
 }
 
+// GroupLag is one consumer group's total lag on one topic, summed over
+// partitions.
+type GroupLag struct {
+	Topic string
+	Group string
+	Lag   int64
+}
+
+// GroupLags snapshots the lag of every consumer group on every topic,
+// sorted by topic then group — the feed for the seatwin_broker_lag
+// gauge. Only groups that have subscribed or committed appear.
+func (b *Broker) GroupLags() []GroupLag {
+	b.mu.RLock()
+	topics := make([]*topic, 0, len(b.topics))
+	for _, t := range b.topics {
+		topics = append(topics, t)
+	}
+	b.mu.RUnlock()
+
+	var out []GroupLag
+	for _, t := range topics {
+		t.groupMu.Lock()
+		names := make([]string, 0, len(t.groups))
+		for name := range t.groups {
+			names = append(names, name)
+		}
+		groups := make([]*group, 0, len(names))
+		sort.Strings(names)
+		for _, name := range names {
+			groups = append(groups, t.groups[name])
+		}
+		t.groupMu.Unlock()
+		for i, g := range groups {
+			g.mu.Lock()
+			var total int64
+			for pi, p := range t.partitions {
+				total += p.end() - g.committed[pi]
+			}
+			g.mu.Unlock()
+			out = append(out, GroupLag{Topic: t.name, Group: names[i], Lag: total})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Topic != out[j].Topic {
+			return out[i].Topic < out[j].Topic
+		}
+		return out[i].Group < out[j].Group
+	})
+	return out
+}
+
 func (t *topic) ensureGroup(name string) *group {
 	t.groupMu.Lock()
 	defer t.groupMu.Unlock()

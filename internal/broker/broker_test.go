@@ -430,3 +430,61 @@ func TestSubscribeWakesBlockedMember(t *testing.T) {
 		t.Fatalf("blocked member consumed %d records, want 10", got)
 	}
 }
+
+func TestGroupLags(t *testing.T) {
+	b := New()
+	if err := b.CreateTopic("ais", 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.CreateTopic("events", 1); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if _, _, err := b.Produce("ais", fmt.Sprintf("v%d", i), i); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// No groups yet: nothing to report.
+	if lags := b.GroupLags(); len(lags) != 0 {
+		t.Fatalf("GroupLags with no groups = %v", lags)
+	}
+
+	c, err := b.Subscribe("ais", "g1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Subscribe("ais", "g2"); err != nil {
+		t.Fatal(err)
+	}
+	lags := b.GroupLags()
+	if len(lags) != 2 {
+		t.Fatalf("GroupLags = %v, want 2 entries", lags)
+	}
+	for _, gl := range lags {
+		if gl.Topic != "ais" || gl.Lag != 10 {
+			t.Fatalf("fresh group lag = %+v, want topic ais lag 10", gl)
+		}
+	}
+	if lags[0].Group != "g1" || lags[1].Group != "g2" {
+		t.Fatalf("GroupLags not sorted by group: %v", lags)
+	}
+
+	// Consuming and committing everything drains g1's lag; g2 stays.
+	var n int
+	for n < 10 {
+		recs := c.Poll(100, time.Second)
+		if recs == nil {
+			t.Fatalf("poll stalled at %d records", n)
+		}
+		n += len(recs)
+		c.Commit()
+	}
+	lags = b.GroupLags()
+	if lags[0].Group != "g1" || lags[0].Lag != 0 {
+		t.Fatalf("committed group lag = %+v, want 0", lags[0])
+	}
+	if lags[1].Group != "g2" || lags[1].Lag != 10 {
+		t.Fatalf("idle group lag = %+v, want 10", lags[1])
+	}
+}

@@ -1,0 +1,135 @@
+package cluster
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"time"
+)
+
+// The HTTP control plane serves the coordinator's Membership surface to
+// workers in other processes: POST /cluster/join, /cluster/heartbeat
+// and /cluster/leave (all with ?worker=<id>), and GET
+// /cluster/assignment for introspection. The data plane (per-partition
+// record forwarding) rides the broker and is not part of this surface.
+
+// assignmentJSON is the wire form of an Assignment.
+type assignmentJSON struct {
+	Epoch      uint64            `json:"epoch"`
+	Partitions map[string]string `json:"partitions"`
+}
+
+func encodeAssignment(a Assignment) assignmentJSON {
+	out := assignmentJSON{Epoch: a.Epoch, Partitions: make(map[string]string, len(a.Workers))}
+	for p, w := range a.Workers {
+		out.Partitions[strconv.Itoa(int(p))] = w
+	}
+	return out
+}
+
+func decodeAssignment(j assignmentJSON) (Assignment, error) {
+	a := Assignment{Epoch: j.Epoch, Workers: make(map[PartitionID]string, len(j.Partitions))}
+	for p, w := range j.Partitions {
+		id, err := strconv.Atoi(p)
+		if err != nil {
+			return Assignment{}, fmt.Errorf("cluster: bad partition id %q", p)
+		}
+		a.Workers[PartitionID(id)] = w
+	}
+	return a, nil
+}
+
+// Handler returns the coordinator's HTTP control plane, mountable on
+// any mux under /cluster/.
+func (c *Coordinator) Handler() http.Handler {
+	mux := http.NewServeMux()
+	membership := func(fn func(string) (Assignment, error)) http.HandlerFunc {
+		return func(w http.ResponseWriter, r *http.Request) {
+			if r.Method != http.MethodPost {
+				http.Error(w, "POST required", http.StatusMethodNotAllowed)
+				return
+			}
+			worker := r.URL.Query().Get("worker")
+			if worker == "" {
+				http.Error(w, "worker is required", http.StatusBadRequest)
+				return
+			}
+			a, err := fn(worker)
+			if err != nil {
+				http.Error(w, err.Error(), http.StatusBadRequest)
+				return
+			}
+			w.Header().Set("Content-Type", "application/json")
+			json.NewEncoder(w).Encode(encodeAssignment(a))
+		}
+	}
+	mux.HandleFunc("/cluster/join", membership(c.Join))
+	mux.HandleFunc("/cluster/heartbeat", membership(c.Heartbeat))
+	mux.HandleFunc("/cluster/leave", membership(func(worker string) (Assignment, error) {
+		if err := c.Leave(worker); err != nil {
+			return Assignment{}, err
+		}
+		return c.Assignment(), nil
+	}))
+	mux.HandleFunc("/cluster/assignment", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(encodeAssignment(c.Assignment()))
+	})
+	mux.HandleFunc("/cluster/workers", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(c.Workers())
+	})
+	return mux
+}
+
+// RemoteCoordinator is the worker-side client of a coordinator's HTTP
+// control plane; it implements Membership over POSTs, so a worker
+// process is wired exactly like an in-process one.
+type RemoteCoordinator struct {
+	base string
+	hc   *http.Client
+}
+
+// NewRemoteCoordinator points a client at a coordinator's base URL
+// (e.g. "http://coord:7946").
+func NewRemoteCoordinator(baseURL string) *RemoteCoordinator {
+	return &RemoteCoordinator{
+		base: baseURL,
+		hc:   &http.Client{Timeout: 5 * time.Second},
+	}
+}
+
+func (r *RemoteCoordinator) call(path, worker string) (Assignment, error) {
+	resp, err := r.hc.Post(r.base+path+"?worker="+worker, "application/json", nil)
+	if err != nil {
+		return Assignment{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return Assignment{}, fmt.Errorf("cluster: %s: %s: %s", path, resp.Status, body)
+	}
+	var j assignmentJSON
+	if err := json.NewDecoder(resp.Body).Decode(&j); err != nil {
+		return Assignment{}, fmt.Errorf("cluster: %s: decode: %w", path, err)
+	}
+	return decodeAssignment(j)
+}
+
+// Join implements Membership.
+func (r *RemoteCoordinator) Join(workerID string) (Assignment, error) {
+	return r.call("/cluster/join", workerID)
+}
+
+// Heartbeat implements Membership.
+func (r *RemoteCoordinator) Heartbeat(workerID string) (Assignment, error) {
+	return r.call("/cluster/heartbeat", workerID)
+}
+
+// Leave implements Membership.
+func (r *RemoteCoordinator) Leave(workerID string) error {
+	_, err := r.call("/cluster/leave", workerID)
+	return err
+}

@@ -1,0 +1,75 @@
+package cluster
+
+import (
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+// TestHTTPControlPlane drives the full Membership surface through the
+// HTTP handler + remote client pair: a remote worker must see exactly
+// the assignments an in-process one would.
+func TestHTTPControlPlane(t *testing.T) {
+	c, err := NewCoordinator(CoordinatorOptions{Partitions: 4, HeartbeatTimeout: time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	srv := httptest.NewServer(c.Handler())
+	defer srv.Close()
+
+	rc := NewRemoteCoordinator(srv.URL)
+	a, err := rc.Join("w1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(a.Owned("w1")); got != 4 {
+		t.Fatalf("remote join: w1 owns %d of 4", got)
+	}
+
+	a2, err := rc.Heartbeat("w1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a2.Epoch != a.Epoch {
+		t.Fatalf("heartbeat with unchanged membership bumped the epoch: %d -> %d", a.Epoch, a2.Epoch)
+	}
+
+	// A second remote worker splits the space.
+	if _, err := rc.Join("w2"); err != nil {
+		t.Fatal(err)
+	}
+	a3, err := rc.Heartbeat("w1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a3.Owned("w1")) != 2 || len(a3.Owned("w2")) != 2 {
+		t.Fatalf("after second join: w1=%d w2=%d, want 2/2", len(a3.Owned("w1")), len(a3.Owned("w2")))
+	}
+
+	if err := rc.Leave("w2"); err != nil {
+		t.Fatal(err)
+	}
+	a4, err := rc.Heartbeat("w1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(a4.Owned("w1")); got != 4 {
+		t.Fatalf("after remote leave: w1 owns %d of 4", got)
+	}
+}
+
+func TestHTTPRejectsMissingWorker(t *testing.T) {
+	c, err := NewCoordinator(CoordinatorOptions{Partitions: 2, HeartbeatTimeout: time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	srv := httptest.NewServer(c.Handler())
+	defer srv.Close()
+
+	rc := NewRemoteCoordinator(srv.URL)
+	if _, err := rc.Join(""); err == nil {
+		t.Fatal("join without a worker id should fail")
+	}
+}

@@ -1,0 +1,90 @@
+// Package cluster is the placement layer that turns the single-process
+// pipeline into a horizontally partitioned one: a consistent-hash ring
+// maps entity keys (MMSIs, hexgrid cells) onto a fixed set of
+// partitions, a coordinator assigns partitions to workers with
+// heartbeat-based liveness and reassignment on worker death, and an
+// epoch-versioned placement table tells every layer of the pipeline
+// whether a key is locally owned or must be forwarded to its owner's
+// per-partition broker topic.
+//
+// The key→partition mapping is static for a given ring (keys never move
+// between partitions); only the partition→worker assignment changes, so
+// a partition's broker topic is a stable address for its keys across
+// any number of rebalances.
+package cluster
+
+import (
+	"fmt"
+	"sort"
+)
+
+// PartitionID identifies one partition of the key space.
+type PartitionID int
+
+// Ring is a consistent-hash ring over a fixed partition count: each
+// partition contributes several virtual points, and a key is owned by
+// the partition of the first point at or after the key's hash. The
+// ring is immutable after construction and safe for concurrent use.
+type Ring struct {
+	partitions int
+	points     []ringPoint // sorted by hash
+}
+
+type ringPoint struct {
+	hash uint64
+	part PartitionID
+}
+
+// DefaultReplicas is the virtual-point count per partition: enough to
+// spread dense key blocks (sequential MMSIs, neighbouring cells) evenly
+// while keeping the lookup's binary search short.
+const DefaultReplicas = 64
+
+// NewRing builds a ring over the given partition count. replicas <= 0
+// takes DefaultReplicas.
+func NewRing(partitions, replicas int) (*Ring, error) {
+	if partitions <= 0 {
+		return nil, fmt.Errorf("cluster: ring needs at least one partition, got %d", partitions)
+	}
+	if replicas <= 0 {
+		replicas = DefaultReplicas
+	}
+	r := &Ring{
+		partitions: partitions,
+		points:     make([]ringPoint, 0, partitions*replicas),
+	}
+	for p := 0; p < partitions; p++ {
+		for v := 0; v < replicas; v++ {
+			h := mix64(uint64(p)<<32 | uint64(v)<<1 | 1)
+			r.points = append(r.points, ringPoint{hash: h, part: PartitionID(p)})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool { return r.points[i].hash < r.points[j].hash })
+	return r, nil
+}
+
+// Partitions returns the partition count.
+func (r *Ring) Partitions() int { return r.partitions }
+
+// Owner returns the partition owning key. Keys are finalised through
+// splitmix64 first, so dense key blocks spread over the whole ring.
+func (r *Ring) Owner(key uint64) PartitionID {
+	h := mix64(key)
+	// First point with hash >= h, wrapping to points[0].
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		i = 0
+	}
+	return r.points[i].part
+}
+
+// mix64 is the splitmix64 finaliser used throughout the repo for
+// spreading dense integer keys.
+func mix64(h uint64) uint64 {
+	h ^= h >> 33
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 33
+	h *= 0xc4ceb9fe1a85ec53
+	h ^= h >> 33
+	return h
+}

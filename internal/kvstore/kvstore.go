@@ -196,6 +196,23 @@ func (s *Store) Keys() []string {
 	return out
 }
 
+// KeysWithPrefix returns all live keys beginning with prefix (O(n)
+// scan). An empty prefix returns every live key. The cluster rebalance
+// path uses it to enumerate "ckpt:<mmsi>" keys when a worker acquires
+// a partition.
+func (s *Store) KeysWithPrefix(prefix string) []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]string, 0, 64)
+	now := time.Now()
+	for k, e := range s.data {
+		if len(k) >= len(prefix) && k[:len(prefix)] == prefix && !e.expired(now) {
+			out = append(out, k)
+		}
+	}
+	return out
+}
+
 // Len returns the number of live keys.
 func (s *Store) Len() int {
 	s.mu.RLock()

@@ -428,3 +428,53 @@ func BenchmarkZAdd(b *testing.B) {
 		s.ZAdd("z", float64(i%1000), fmt.Sprintf("m%d", i%1000))
 	}
 }
+
+func TestKeysWithPrefix(t *testing.T) {
+	s := New()
+	defer s.Close()
+	s.Set("ckpt:100000001", "a")
+	s.Set("ckpt:100000002", "b")
+	s.Set("ckpt:1", "overlap") // shares the "ckpt:1" prefix with the first two
+	s.Set("vessel:100000001", "c")
+	s.Set("ck", "not-a-checkpoint")
+
+	want := func(prefix string, keys ...string) {
+		t.Helper()
+		got := s.KeysWithPrefix(prefix)
+		sort.Strings(got)
+		sort.Strings(keys)
+		if len(got) != len(keys) {
+			t.Fatalf("KeysWithPrefix(%q) = %v, want %v", prefix, got, keys)
+		}
+		for i := range got {
+			if got[i] != keys[i] {
+				t.Fatalf("KeysWithPrefix(%q) = %v, want %v", prefix, got, keys)
+			}
+		}
+	}
+
+	// Empty prefix returns every live key.
+	want("", "ckpt:100000001", "ckpt:100000002", "ckpt:1", "vessel:100000001", "ck")
+	// A namespace prefix.
+	want("ckpt:", "ckpt:100000001", "ckpt:100000002", "ckpt:1")
+	// Overlapping prefixes: "ckpt:1" is both a full key and a prefix of
+	// two longer ones — all three must match.
+	want("ckpt:1", "ckpt:100000001", "ckpt:100000002", "ckpt:1")
+	want("ckpt:100000001", "ckpt:100000001")
+	// No matches.
+	want("zzz:")
+	// A prefix longer than any key.
+	want("vessel:100000001-and-more")
+}
+
+func TestKeysWithPrefixSkipsExpired(t *testing.T) {
+	s := New()
+	defer s.Close()
+	s.Set("p:alive", "v")
+	s.SetEx("p:dead", "v", time.Nanosecond)
+	time.Sleep(2 * time.Millisecond)
+	got := s.KeysWithPrefix("p:")
+	if len(got) != 1 || got[0] != "p:alive" {
+		t.Fatalf("KeysWithPrefix over expired keys = %v, want [p:alive]", got)
+	}
+}

@@ -181,8 +181,15 @@ func (v *vesselActor) onPosition(c *actor.Context, m posMsg) {
 		v.cellScratch = hexgrid.AppendDiskCovering(v.cellScratch[:0], pos, v.p.cfg.ProximityResolution, v.p.cfg.Proximity.ThresholdMeters)
 		// Box the (immutable) message once and share it across every
 		// destination cell instead of re-boxing per Send.
-		var cpm any = cellPosMsg{mmsi: r.MMSI, pos: pos, at: r.Timestamp}
+		m := cellPosMsg{mmsi: r.MMSI, pos: pos, at: r.Timestamp}
+		var cpm any = m
 		for _, cell := range v.cellScratch {
+			// Cells are placed on the ring like vessels: a cell owned by
+			// another partition gets the share over its forward topic.
+			if cl := v.p.cl; cl != nil && !cl.owns(uint64(cell)) {
+				cl.forwardCellPos(cell, m)
+				continue
+			}
 			c.Send(v.p.proximityActor(cell), cpm)
 		}
 		// Forecasts go to the collision actors of every cell the
@@ -215,6 +222,10 @@ func (v *vesselActor) onPosition(c *actor.Context, m posMsg) {
 			}
 			var fm any = forecastMsg{forecast: forecast, at: r.Timestamp}
 			for cell := range seen {
+				if cl := v.p.cl; cl != nil && !cl.owns(uint64(cell)) {
+					cl.forwardForecast(cell, forecast, r.Timestamp)
+					continue
+				}
 				c.Send(v.p.collisionActor(cell), fm)
 			}
 		}
@@ -256,9 +267,10 @@ func (a *cellActor) Receive(c *actor.Context) {
 		a.p.log.Append(e)
 		var em any = eventMsg{event: e}
 		c.Send(a.p.writerFor(e.A), em)
-		// Communicate the state back to the affected vessel actors.
-		c.Send(a.p.vesselActor(e.A), em)
-		c.Send(a.p.vesselActor(e.B), em)
+		// Communicate the state back to the affected vessel actors
+		// (forwarded when a vessel lives on another partition).
+		a.p.notifyVessel(c, e.A, em, e)
+		a.p.notifyVessel(c, e.B, em, e)
 	}
 }
 
@@ -289,8 +301,8 @@ func (a *collisionActor) Receive(c *actor.Context) {
 		a.p.log.Append(e)
 		var em any = eventMsg{event: e}
 		c.Send(a.p.writerFor(e.A), em)
-		c.Send(a.p.vesselActor(e.A), em)
-		c.Send(a.p.vesselActor(e.B), em)
+		a.p.notifyVessel(c, e.A, em, e)
+		a.p.notifyVessel(c, e.B, em, e)
 	}
 }
 

@@ -13,6 +13,7 @@ import (
 	"sync"
 	"time"
 
+	"seatwin/internal/broker"
 	"seatwin/internal/lvrf"
 )
 
@@ -130,7 +131,7 @@ func (a *API) handleHealth(w http.ResponseWriter, _ *http.Request) {
 
 func (a *API) handleStats(w http.ResponseWriter, _ *http.Request) {
 	s := a.p.Stats()
-	writeJSON(w, map[string]any{
+	doc := map[string]any{
 		"messages":     s.Messages,
 		"forecasts":    s.Forecasts,
 		"live_actors":  s.LiveActors,
@@ -148,7 +149,22 @@ func (a *API) handleStats(w http.ResponseWriter, _ *http.Request) {
 		"checkpoint_saves":    s.CheckpointSaves,
 		"checkpoint_restores": s.CheckpointRestores,
 		"checkpoint_failures": s.CheckpointFailures,
-	})
+	}
+	if cs := s.Cluster; cs != nil {
+		doc["cluster"] = map[string]any{
+			"worker_id":        cs.WorkerID,
+			"epoch":            cs.Epoch,
+			"partitions":       cs.Partitions,
+			"owned_partitions": cs.OwnedPartitions,
+			"forwards":         cs.Forwards,
+			"forward_drops":    cs.ForwardDrops,
+			"received":         cs.Received,
+			"fenced":           cs.Fenced,
+			"rebalances":       cs.Rebalances,
+			"pending_forwards": cs.PendingForwards,
+		}
+	}
+	writeJSON(w, doc)
 }
 
 // vesselJSON is one vessel state document.
@@ -424,6 +440,40 @@ func (a *API) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 		counter("seatwin_chaos_panics_total", "chaos-injected panics", float64(cs.Panics))
 		counter("seatwin_chaos_delays_total", "chaos-injected latency delays", float64(cs.Delays))
 		counter("seatwin_chaos_truncations_total", "chaos-injected broker truncations", float64(cs.Truncations))
+	}
+	if cs := s.Cluster; cs != nil {
+		gauge("seatwin_cluster_epoch", "placement epoch in effect on this worker", float64(cs.Epoch))
+		gauge("seatwin_cluster_partitions", "cluster partition count", float64(cs.Partitions))
+		gauge("seatwin_cluster_owned_partitions", "partitions this worker owns", float64(cs.OwnedPartitions))
+		gauge("seatwin_cluster_pending_forwards", "cross-partition forwards queued or in flight", float64(cs.PendingForwards))
+		counter("seatwin_cluster_forwards_total", "records forwarded to foreign partitions", float64(cs.Forwards))
+		counter("seatwin_cluster_forward_drops_total", "forwards lost after retry exhaustion", float64(cs.ForwardDrops))
+		counter("seatwin_cluster_received_total", "records consumed from owned partition topics", float64(cs.Received))
+		counter("seatwin_cluster_fenced_total", "records abandoned on ownership loss", float64(cs.Fenced))
+		counter("seatwin_cluster_rebalances_total", "assignments applied by this worker", float64(cs.Rebalances))
+	}
+	// Consumer-group lag, one gauge sample per topic+group pair, across
+	// every broker the pipeline touches (cluster forward topics and the
+	// dedicated output streams).
+	emittedLag := false
+	lag := func(bk *broker.Broker) {
+		if bk == nil {
+			return
+		}
+		for _, gl := range bk.GroupLags() {
+			if !emittedLag {
+				fmt.Fprintf(&b, "# HELP seatwin_broker_lag records committed offsets trail the log end by, per topic and group\n")
+				fmt.Fprintf(&b, "# TYPE seatwin_broker_lag gauge\n")
+				emittedLag = true
+			}
+			fmt.Fprintf(&b, "seatwin_broker_lag{topic=%q,group=%q} %d\n", gl.Topic, gl.Group, gl.Lag)
+		}
+	}
+	if cl := a.p.cl; cl != nil {
+		lag(cl.cfg.Broker)
+	}
+	if ob := a.p.cfg.OutputBroker; ob != nil && (a.p.cl == nil || ob != a.p.cl.cfg.Broker) {
+		lag(ob)
 	}
 	w.Write([]byte(b.String()))
 }

@@ -1,0 +1,292 @@
+package pipeline
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"seatwin/internal/ais"
+	"seatwin/internal/broker"
+	"seatwin/internal/chaos"
+	"seatwin/internal/checkpoint"
+	"seatwin/internal/cluster"
+	"seatwin/internal/events"
+	"seatwin/internal/geo"
+	"seatwin/internal/kvstore"
+)
+
+// newClusterWorker builds one pipeline joined to coord over the shared
+// store and broker. CheckpointInterval is 1 so every accepted report
+// persists a window — partition handoff must never depend on lucky
+// checkpoint timing.
+func newClusterWorker(t *testing.T, store *kvstore.Store, br *broker.Broker, coord *cluster.Coordinator, id string, f events.TrackForecaster, in *chaos.Injector, mods ...func(*Config)) *Pipeline {
+	t.Helper()
+	cfg := DefaultConfig(f)
+	cfg.Store = store
+	cfg.CheckpointInterval = 1
+	cfg.Chaos = in
+	for _, mod := range mods {
+		mod(&cfg)
+	}
+	cfg.Cluster = &ClusterConfig{
+		WorkerID:          id,
+		Membership:        coord,
+		Partitions:        8,
+		Broker:            br,
+		HeartbeatInterval: 100 * time.Millisecond,
+	}
+	p, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// clusterReport renders report i of a vessel's straight 12 kn track,
+// 30 s apart so every report survives the S-VRF downsampler.
+func clusterReport(mmsi ais.MMSI, start geo.Point, i int) (ais.PositionReport, time.Time) {
+	at := t0.Add(time.Duration(i) * 30 * time.Second)
+	pos := geo.DeadReckon(start, 12, 90, at.Sub(t0).Seconds())
+	return ais.PositionReport{
+		MMSI: mmsi, Lat: pos.Lat, Lon: pos.Lon, SOG: 12, COG: 90,
+		Status: ais.StatusUnderWayEngine, Timestamp: at,
+	}, at
+}
+
+// waitFor polls cond until it holds or the deadline passes.
+func waitFor(t *testing.T, timeout time.Duration, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+// partLagsZero reports whether every forward-topic consumer group has
+// consumed and committed everything produced so far.
+func partLagsZero(br *broker.Broker) bool {
+	for _, gl := range br.GroupLags() {
+		if strings.HasPrefix(gl.Topic, "part/") && gl.Lag > 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// drainCluster quiesces a set of workers sharing br: each worker's own
+// Drain covers its actors and outbound forward queue, but a flushed
+// forward only creates work on the receiving worker, so the cluster is
+// only quiet when a full round of drains leaves every forward topic
+// fully consumed and no new forwards pending. Two consecutive quiet
+// rounds guard against a cascade caught mid-hop.
+func drainCluster(t *testing.T, br *broker.Broker, workers ...*Pipeline) {
+	t.Helper()
+	quiet := func() bool {
+		for _, p := range workers {
+			p.Drain(10 * time.Second)
+		}
+		if !partLagsZero(br) {
+			return false
+		}
+		for _, p := range workers {
+			if cs := p.Stats().Cluster; cs != nil && cs.PendingForwards != 0 {
+				return false
+			}
+		}
+		return true
+	}
+	deadline := time.Now().Add(60 * time.Second)
+	for time.Now().Before(deadline) {
+		if quiet() && quiet() {
+			return
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	t.Fatal("cluster never quiesced")
+}
+
+// TestClusterTwoWorkerFailover is the headline cluster scenario: a
+// fleet warmed up on one worker is split when a second joins (moved
+// vessels rehydrate from shared checkpoints), forwarding routes every
+// report to its owner regardless of which worker ingested it, and a
+// worker crash reassigns its partitions with zero lost reports and no
+// double-forecast. Forecast counts are exact: with an S-VRF forecaster
+// every report past warmup yields exactly one forecast, so lost or
+// duplicated deliveries shift the total.
+func TestClusterTwoWorkerFailover(t *testing.T) {
+	store := kvstore.New()
+	defer store.Close()
+	br := broker.New()
+	coord, err := cluster.NewCoordinator(cluster.CoordinatorOptions{
+		Partitions: 8,
+		// Generous lease: the race detector plus a single shared
+		// scheduler can starve heartbeats for a while; only the
+		// explicit FailWorker below may expire.
+		HeartbeatTimeout: 5 * time.Second,
+		SweepInterval:    100 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer coord.Close()
+
+	const fleet = 24
+	mmsis := make([]ais.MMSI, fleet)
+	starts := make([]geo.Point, fleet)
+	for i := range mmsis {
+		mmsis[i] = ais.MMSI(700000001 + i)
+		starts[i] = geo.Point{Lat: 34 + float64(i%6)*0.8, Lon: 20 + float64(i/6)*0.8}
+	}
+
+	// Phase 1: worker A alone owns everything; warm the whole fleet
+	// past the S-VRF threshold.
+	a := newClusterWorker(t, store, br, coord, "a", svrfConfig(t, store).Forecaster, nil)
+	defer a.Shutdown(5 * time.Second)
+	for i, m := range mmsis {
+		for rep := 0; rep < 8; rep++ {
+			r, at := clusterReport(m, starts[i], rep)
+			a.Ingest(r, at)
+		}
+	}
+	drainCluster(t, br, a)
+	s1 := a.Stats().Forecasts
+	if s1 == 0 {
+		t.Fatal("warmup produced no forecasts — the fleet never crossed MinLiveReports")
+	}
+	if got := a.Stats().Cluster.OwnedPartitions; got != 8 {
+		t.Fatalf("lone worker owns %d/8 partitions", got)
+	}
+
+	// Phase 2: a second worker joins; the sticky rebalance splits the
+	// ring 4/4 and B rehydrates the moved vessels from checkpoints.
+	b := newClusterWorker(t, store, br, coord, "b", svrfConfig(t, store).Forecaster, nil)
+	defer b.Shutdown(5 * time.Second)
+	waitFor(t, 15*time.Second, "4/4 partition split", func() bool {
+		ca, cb := a.Stats().Cluster, b.Stats().Cluster
+		return ca.OwnedPartitions == 4 && cb.OwnedPartitions == 4
+	})
+	var movedToB int
+	for _, m := range mmsis {
+		if b.OwnsKey(uint64(m)) {
+			movedToB++
+		}
+	}
+	if movedToB == 0 || movedToB == fleet {
+		t.Fatalf("degenerate split: %d/%d vessels moved to b", movedToB, fleet)
+	}
+	waitFor(t, 15*time.Second, "moved vessels to rehydrate on b", func() bool {
+		return b.Stats().CheckpointRestores >= int64(movedToB)
+	})
+
+	// Feed one report per vessel through the worker that does NOT own
+	// it: every single report must cross the forward path and still
+	// reach its owner exactly once.
+	for i, m := range mmsis {
+		r, at := clusterReport(m, starts[i], 8)
+		if a.OwnsKey(uint64(m)) {
+			b.Ingest(r, at)
+		} else {
+			a.Ingest(r, at)
+		}
+	}
+	drainCluster(t, br, a, b)
+	if ca, cb := a.Stats().Cluster, b.Stats().Cluster; ca.Forwards == 0 || cb.Forwards == 0 {
+		t.Fatalf("both workers must forward foreign ingest: a=%d b=%d", ca.Forwards, cb.Forwards)
+	}
+	s2 := a.Stats().Forecasts + b.Stats().Forecasts
+	if want := s1 + fleet; s2 != want {
+		t.Fatalf("after split: forecasts %d, want exactly %d (lost or duplicated reports)", s2, want)
+	}
+
+	// Phase 3: worker A crashes (no leave, no passivation). The lease
+	// expires, B gains A's partitions and rehydrates A's vessels; a
+	// final round of reports through B forecasts once more per vessel.
+	a.FailWorker()
+	waitFor(t, 30*time.Second, "b to own all partitions after a's crash", func() bool {
+		return b.Stats().Cluster.OwnedPartitions == 8
+	})
+	waitFor(t, 15*time.Second, "the whole fleet to rehydrate on b", func() bool {
+		return b.Stats().CheckpointRestores >= int64(fleet)
+	})
+	for i, m := range mmsis {
+		r, at := clusterReport(m, starts[i], 9)
+		b.Ingest(r, at)
+	}
+	drainCluster(t, br, b)
+	s3 := a.Stats().Forecasts + b.Stats().Forecasts
+	if want := s2 + fleet; s3 != want {
+		t.Fatalf("after failover: forecasts %d, want exactly %d (lost or duplicated reports)", s3, want)
+	}
+
+	// The shared checkpoints carry every vessel's final report: a late
+	// stale write (A's leftover actors) must never regress them.
+	wantTS := strconv.FormatInt(t0.Add(9*30*time.Second).UnixNano(), 10)
+	for _, m := range mmsis {
+		v, ok, err := store.HGet(checkpoint.Key(m), "last_ts")
+		if err != nil || !ok {
+			t.Fatalf("vessel %v: no checkpoint after failover (err=%v)", m, err)
+		}
+		if v != wantTS {
+			t.Fatalf("vessel %v: checkpoint last_ts=%s, want %s", m, v, wantTS)
+		}
+	}
+}
+
+// TestDrainWaitsForForwardFlush pins the Drain contract in cluster
+// mode: a report accepted for a foreign partition is still in flight
+// while it sits in the forward queue, even though no local mailbox
+// holds it. A latency-injecting producer keeps the queue occupied long
+// after the local actors go idle; Drain must not return until the
+// flush finishes.
+func TestDrainWaitsForForwardFlush(t *testing.T) {
+	store := kvstore.New()
+	defer store.Close()
+	br := broker.New()
+	coord, err := cluster.NewCoordinator(cluster.CoordinatorOptions{
+		Partitions:       8,
+		HeartbeatTimeout: time.Minute,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer coord.Close()
+
+	// Event fan-out off: this test pins the Drain/forward contract, and
+	// colocated vessels would otherwise cascade pair events back and
+	// forth through the deliberately slow producer forever.
+	noFanout := func(c *Config) { c.DisableEventFanout = true }
+	in := chaos.New(chaos.Policy{Latency: 30 * time.Millisecond, Seed: 7})
+	a := newClusterWorker(t, store, br, coord, "a", events.NewKinematicForecaster(), in, noFanout)
+	defer a.Shutdown(5 * time.Second)
+	b := newClusterWorker(t, store, br, coord, "b", events.NewKinematicForecaster(), nil, noFanout)
+	defer b.Shutdown(5 * time.Second)
+	waitFor(t, 15*time.Second, "4/4 partition split", func() bool {
+		return a.Stats().Cluster.OwnedPartitions == 4 && b.Stats().Cluster.OwnedPartitions == 4
+	})
+
+	// Reports for vessels A does not own: each one enters A's forward
+	// queue and leaves it only through the slow producer.
+	foreign := 0
+	for m := ais.MMSI(820000001); foreign < 40; m++ {
+		if a.OwnsKey(uint64(m)) {
+			continue
+		}
+		r, at := clusterReport(m, geo.Point{Lat: 35, Lon: 21}, 0)
+		a.Ingest(r, at)
+		foreign++
+	}
+
+	a.Drain(60 * time.Second)
+	cs := a.Stats().Cluster
+	if cs.PendingForwards != 0 {
+		t.Fatalf("Drain returned with %d forwards still pending", cs.PendingForwards)
+	}
+	if cs.Forwards != int64(foreign) {
+		t.Fatalf("Drain returned before the flush: %d/%d forwards produced", cs.Forwards, foreign)
+	}
+}

@@ -101,6 +101,12 @@ type Config struct {
 	// Retry shapes the backoff loop around store writes and the broker
 	// consume round (zero value = retry.DefaultPolicy()).
 	Retry retry.Policy
+	// Cluster, when non-nil, runs this pipeline as one worker of a
+	// partitioned cluster: keys it does not own are forwarded onto the
+	// owning partition's broker topic instead of being processed
+	// locally (see cluster.go). Nil keeps the single-process fast path
+	// byte-for-byte unchanged.
+	Cluster *ClusterConfig
 }
 
 // DefaultConfig returns the paper's deployment shape.
@@ -211,6 +217,10 @@ type Pipeline struct {
 	// feedDetach unsubscribes the live-feed hub from the EventStream on
 	// shutdown (nil when Config.Feed was not set).
 	feedDetach func()
+
+	// cl is the cluster worker runtime (nil in single-process mode —
+	// every ownership check on the hot path is then one nil compare).
+	cl *clusterState
 }
 
 // pairShardCount stripes the pairwise-event dedup map (power of two).
@@ -362,6 +372,16 @@ func New(cfg Config) (*Pipeline, error) {
 		}
 		p.writers = append(p.writers, pid)
 	}
+	if cfg.Cluster != nil {
+		cl, err := newClusterState(p, *cfg.Cluster)
+		if err != nil {
+			return nil, err
+		}
+		p.cl = cl
+		if err := cl.start(); err != nil {
+			return nil, err
+		}
+	}
 	go p.sampler()
 	return p, nil
 }
@@ -457,11 +477,36 @@ func (p *Pipeline) retryDo(hint uint64, op func() error) bool {
 	return true
 }
 
+// checkpointStale reports whether the store already holds a checkpoint
+// for key at least as new as a window ending at lastTS. Only consulted
+// in cluster mode, where two workers can briefly both hold a moved
+// vessel: the old owner's late passivation snapshot must not clobber
+// the new owner's fresher one. The read goes to the raw store (the
+// fault-free side), and any unreadable value fails open — a write the
+// retry layer already tolerates losing.
+func (p *Pipeline) checkpointStale(key string, lastTS time.Time) bool {
+	if p.cl == nil {
+		return false
+	}
+	v, ok, err := p.store.HGet(key, "last_ts")
+	if err != nil || !ok {
+		return false
+	}
+	existing, err := strconv.ParseInt(v, 10, 64)
+	if err != nil {
+		return false
+	}
+	return existing >= lastTS.UnixNano()
+}
+
 // saveCheckpoint persists one vessel's history window through the
 // (possibly chaos-wrapped) store, with retries; an exhausted save is
 // counted as a checkpoint failure and dropped — the previous
 // checkpoint, if any, stays in place.
 func (p *Pipeline) saveCheckpoint(mmsi ais.MMSI, reports []ais.PositionReport) {
+	if len(reports) > 0 && p.checkpointStale(checkpoint.Key(mmsi), reports[len(reports)-1].Timestamp) {
+		return
+	}
 	hint := uint64(mmsi)
 	if p.retryDo(hint, func() error {
 		return checkpoint.Save(p.kv, checkpoint.Snapshot{MMSI: mmsi, Reports: reports})
@@ -478,6 +523,9 @@ func (p *Pipeline) saveCheckpoint(mmsi ais.MMSI, reports []ais.PositionReport) {
 // encoder straight into the store's append-based HSetFields — one
 // string conversion per snapshot instead of one per report field.
 func (p *Pipeline) saveCheckpointFields(key string, mmsi ais.MMSI, reports []ais.PositionReport, enc *checkpoint.Encoder) {
+	if len(reports) > 0 && p.checkpointStale(key, reports[len(reports)-1].Timestamp) {
+		return
+	}
 	hint := uint64(mmsi)
 	s := checkpoint.Snapshot{MMSI: mmsi, Reports: reports}
 	if p.retryDo(hint, func() error {
@@ -524,6 +572,12 @@ func (p *Pipeline) Ingest(msg ais.Message, receivedAt time.Time) {
 	}
 	switch m := msg.(type) {
 	case ais.StaticVoyage:
+		// A foreign vessel's static document rides the forward topic to
+		// its owner, whose shared cache needs it for the merge.
+		if cl := p.cl; cl != nil && !cl.owns(uint64(m.MMSI)) {
+			cl.forwardStatic(m)
+			return
+		}
 		// Static info is cached in shared memory at ingestion, available
 		// to every actor without a message round-trip (§3). Class B
 		// type 24 messages arrive as partial documents (part A: name;
@@ -535,6 +589,10 @@ func (p *Pipeline) Ingest(msg ais.Message, receivedAt time.Time) {
 		atomic.AddInt64(&p.ingested, 1)
 		p.system.Send(p.vesselActor(m.MMSI), m)
 	case ais.PositionReport:
+		if cl := p.cl; cl != nil && !cl.owns(uint64(m.MMSI)) {
+			cl.forwardPosition(m, receivedAt)
+			return
+		}
 		p.messages.Inc(uint64(m.MMSI), 1)
 		atomic.AddInt64(&p.ingested, 1)
 		p.system.Send(p.vesselActor(m.MMSI), posMsg{report: m, receivedAt: receivedAt})
@@ -677,6 +735,14 @@ func (p *Pipeline) IngestBatch(batch []TimedMessage) int {
 			p.Ingest(m, tm.ReceivedAt)
 			n++
 		case ais.PositionReport:
+			// Foreign reports are accepted into the cluster (counted in
+			// n) but processed by their owner, so they skip the local
+			// batching entirely.
+			if cl := p.cl; cl != nil && !cl.owns(uint64(m.MMSI)) {
+				cl.forwardPosition(m, tm.ReceivedAt)
+				n++
+				continue
+			}
 			p.messages.Inc(uint64(m.MMSI), 1)
 			atomic.AddInt64(&p.ingested, 1)
 			g := b.group(p, m.MMSI)
@@ -810,6 +876,9 @@ type Stats struct {
 	CheckpointSaves    int64
 	CheckpointRestores int64
 	CheckpointFailures int64
+	// Cluster is the worker's cluster counters, nil in single-process
+	// mode.
+	Cluster *ClusterStats
 }
 
 // Stats snapshots the pipeline counters.
@@ -829,6 +898,7 @@ func (p *Pipeline) Stats() Stats {
 		CheckpointSaves:    p.ckptSaves.Value(),
 		CheckpointRestores: p.ckptRestores.Value(),
 		CheckpointFailures: p.ckptFailures.Value(),
+		Cluster:            p.clusterStats(),
 	}
 }
 
@@ -937,13 +1007,20 @@ func (p *Pipeline) consumeRound(c RecordConsumer, pollWait time.Duration) (inges
 // returns immediately; once something was ingested, the processed
 // counter must have moved off zero before quiescence counts, so a
 // just-popped in-flight first message cannot fake an idle system.
+//
+// In cluster mode, quiescence additionally requires the forward queue
+// to be empty: a report accepted for a foreign partition is in flight
+// until the forwarding producer has written it to the broker, even
+// though no local mailbox holds it. (What the remote owner does with
+// it is its own Drain's business.)
 func (p *Pipeline) Drain(timeout time.Duration) {
 	deadline := time.Now().Add(timeout)
 	var last uint64
 	for time.Now().Before(deadline) {
 		cur := p.system.StatsSnapshot().MessagesProcessed
 		idle := atomic.LoadInt64(&p.ingested) == 0
-		if cur == last && (cur > 0 || idle) && p.system.QueuedMessages() == 0 {
+		if cur == last && (cur > 0 || idle) &&
+			p.system.QueuedMessages() == 0 && p.pendingForwards() == 0 {
 			return
 		}
 		last = cur
@@ -951,14 +1028,24 @@ func (p *Pipeline) Drain(timeout time.Duration) {
 	}
 }
 
-// Shutdown stops the actor system.
+// Shutdown stops the actor system. In cluster mode the worker's
+// inbound consumers stop first (no new foreign records land mid-stop),
+// the actors drain — any fan-out they still forward is flushed by the
+// forwarder — and the worker then leaves the cluster so its partitions
+// reassign immediately.
 func (p *Pipeline) Shutdown(timeout time.Duration) {
 	if !atomic.CompareAndSwapInt32(&p.closed, 0, 1) {
 		return
 	}
+	if p.cl != nil {
+		p.cl.closeConsumers()
+	}
 	close(p.samplerStop)
 	<-p.samplerDone
 	p.system.Shutdown(timeout)
+	if p.cl != nil {
+		p.cl.shutdown()
+	}
 	if p.feedDetach != nil {
 		p.feedDetach()
 	}

@@ -103,6 +103,29 @@ func (c *routeCache) invalidate(key uint64, pid *actor.PID) {
 	sh.mu.Unlock()
 }
 
+// forEach calls fn for every cached route. Entries are snapshotted per
+// shard first so fn runs without any cache lock held (fn may trigger
+// actor stops whose unregister hooks re-enter the cache).
+func (c *routeCache) forEach(fn func(key uint64, pid *actor.PID)) {
+	type entry struct {
+		key uint64
+		pid *actor.PID
+	}
+	var buf []entry
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.RLock()
+		buf = buf[:0]
+		for k, pid := range sh.m {
+			buf = append(buf, entry{k, pid})
+		}
+		sh.mu.RUnlock()
+		for _, e := range buf {
+			fn(e.key, e.pid)
+		}
+	}
+}
+
 // size returns the number of cached routes (tests and introspection).
 func (c *routeCache) size() int {
 	n := 0
