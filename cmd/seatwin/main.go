@@ -47,6 +47,7 @@ import (
 	"seatwin/internal/pipeline"
 	"seatwin/internal/retry"
 	"seatwin/internal/svrf"
+	"seatwin/internal/views"
 )
 
 // opts carries the parsed flag set to the run modes.
@@ -64,6 +65,7 @@ type opts struct {
 	ports       bool
 	feedTCP     string
 	feedRes     int
+	views       bool
 	pprofOn     bool
 	ckptEvery   int
 	partitions  int
@@ -86,6 +88,7 @@ func main() {
 		ports       = flag.Bool("monitor-ports", false, "enable port-congestion monitoring for catalog ports in the region")
 		feedTCP     = flag.String("feed-tcp", "", "optional live-feed TCP listen address (length-prefixed JSON, e.g. 127.0.0.1:9230)")
 		feedRes     = flag.Int("feed-region-res", 7, "hexgrid resolution of live-feed region/<cell> topics")
+		viewsOn     = flag.Bool("views", true, "serve reads from materialized views (false = direct kvstore scans)")
 		pprofOn     = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ on the API address")
 		chaosSpec   = flag.String("chaos", "", "fault-injection spec, e.g. error=0.1,latency=5ms,panic=0.001,truncate=0.01,seed=7 (empty = off)")
 		ckptEvery   = flag.Int("checkpoint-every", 0, "reports between vessel history checkpoints (0 = 16; negative = disable checkpointing)")
@@ -138,6 +141,7 @@ func main() {
 		vessels: *vessels, box: box, region: *region, fc: fc, injector: injector,
 		addr: *addr, respAddr: *respAddr, duration: *duration, seed: *seed,
 		dataDir: *dataDir, ports: *ports, feedTCP: *feedTCP, feedRes: *feedRes,
+		views:   *viewsOn,
 		pprofOn: *pprofOn, ckptEvery: *ckptEvery,
 		partitions: *partitions, workers: *workers,
 		workerID: *workerID, coordURL: *coordURL, clusterAddr: *clusterAddr,
@@ -172,6 +176,18 @@ func baseConfig(o opts, store *kvstore.Store, hub *feed.Hub) pipeline.Config {
 		log.Printf("monitoring %d ports (GET /api/congestion)", len(cfg.Ports))
 	}
 	return cfg
+}
+
+// newViews builds the read-side serving layer (nil when -views=false:
+// the API falls back to bounded kvstore scans). The region resolution
+// matches the live feed so /api/regions cells line up with feed
+// region/<cell> topics.
+func newViews(o opts) *views.Views {
+	if !o.views {
+		return nil
+	}
+	log.Printf("materialized views enabled (read path: pre-encoded snapshots)")
+	return views.New(views.Config{RegionResolution: o.feedRes})
 }
 
 // openBroker returns the feed broker: durable when -data is set (with
@@ -323,7 +339,12 @@ func runSingle(o opts) {
 	defer store.Close()
 	hub := feed.NewHub(feed.Options{RegionResolution: o.feedRes})
 	defer hub.Close()
-	p, err := pipeline.New(baseConfig(o, store, hub))
+	cfg := baseConfig(o, store, hub)
+	if v := newViews(o); v != nil {
+		cfg.Views = v
+		defer v.Close()
+	}
+	p, err := pipeline.New(cfg)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -378,9 +399,17 @@ func runMulti(o opts) {
 	}
 	defer coord.Close()
 
+	// One shared views instance: every worker's writer actors publish
+	// into it, so the single API surface (workers[0]) serves the whole
+	// fleet regardless of partition ownership.
+	v := newViews(o)
+	if v != nil {
+		defer v.Close()
+	}
 	workers := make([]*pipeline.Pipeline, 0, o.workers)
 	for i := 0; i < o.workers; i++ {
 		cfg := baseConfig(o, store, nil)
+		cfg.Views = v
 		if i == 0 {
 			cfg.Feed = hub // one feed/API surface; state is shared anyway
 		}
@@ -489,6 +518,10 @@ func runWorker(o opts) {
 	defer closeBroker()
 
 	cfg := baseConfig(o, store, hub)
+	if v := newViews(o); v != nil {
+		cfg.Views = v
+		defer v.Close()
+	}
 	cfg.Cluster = &pipeline.ClusterConfig{
 		WorkerID:   o.workerID,
 		Membership: cluster.NewRemoteCoordinator(o.coordURL),

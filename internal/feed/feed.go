@@ -89,6 +89,11 @@ type Hub struct {
 	topics map[string]map[*Subscription]struct{}
 	closed bool
 
+	// relayMu guards the registry of live relay tiers (see relay.go);
+	// relays deregister themselves when their pump exits.
+	relayMu sync.Mutex
+	relays  map[*Relay]struct{}
+
 	seq      atomic.Uint64 // frame sequence, dedups multi-topic delivery
 	subSeq   atomic.Uint64 // subscriber ids (metrics routing hints)
 	subCount atomic.Int64

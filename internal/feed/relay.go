@@ -1,0 +1,294 @@
+package feed
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+)
+
+// ErrRelayClosed rejects operations on a shut-down relay.
+var ErrRelayClosed = errors.New("feed: relay closed")
+
+// RelayOptions configure one relay tier.
+type RelayOptions struct {
+	// Buffer is the capacity of the relay's single upstream ring
+	// (<=0 selects 1024). The upstream ring always conflates by key:
+	// when the relay tier falls behind, stale per-vessel states are
+	// replaced in place and only the newest survives.
+	Buffer int
+	// LocalBuffer is the default ring capacity for local subscribers
+	// (<=0 selects the hub default).
+	LocalBuffer int
+}
+
+// RelayStats is a snapshot of one relay's instrumentation.
+type RelayStats struct {
+	Subscribers     int64 // currently attached local subscribers
+	TotalSubs       int64 // ever attached
+	Relayed         int64 // frames pumped out of the upstream ring
+	Fanned          int64 // deliveries enqueued to local rings
+	ConflationDrops int64 // upstream frames conflated away or evicted before the pump saw them
+	LocalDropped    int64 // frames evicted from local rings by drop-oldest
+	LocalConflated  int64 // frames replaced in place in local rings
+	Disconnected    int64 // local subscribers closed by the disconnect policy
+	Closed          bool
+}
+
+// Relay is a tiered fan-out stage: ONE upstream hub subscription
+// multiplexed onto any number of local subscriber rings by a single
+// pump goroutine. Attaching the N-th local subscriber costs the hub
+// nothing — the publisher still performs exactly one ring push per
+// relay, so subscriber count stops multiplying publisher work. The
+// price is the relay's conflating upstream ring: when the pump (or
+// everything downstream of it) falls behind, per-key frames collapse
+// to the newest and the loss is reported as ConflationDrops rather
+// than publisher back-pressure.
+//
+// The intended deployment is one relay per heavily-subscribed topic
+// set (a busy region, the event classes) per frontend process, with
+// SSE/TCP clients attached locally.
+type Relay struct {
+	hub       *Hub
+	upstream  *Subscription
+	defBuffer int
+
+	mu     sync.RWMutex
+	subs   map[*RelaySub]struct{}
+	closed bool
+
+	subCount  atomic.Int64
+	totSubs   atomic.Int64
+	relayed   atomic.Int64
+	fanned    atomic.Int64
+	localDrop atomic.Int64
+	localConf atomic.Int64
+	discon    atomic.Int64
+
+	done chan struct{}
+}
+
+// NewRelay subscribes a relay to the given hub topics and starts its
+// pump. Close the relay (or the hub) to stop it.
+func (h *Hub) NewRelay(topics []string, opt RelayOptions) (*Relay, error) {
+	if opt.Buffer <= 0 {
+		opt.Buffer = 1024
+	}
+	if opt.LocalBuffer <= 0 {
+		opt.LocalBuffer = h.defBuffer
+	}
+	up, err := h.Subscribe(topics, SubOptions{Buffer: opt.Buffer, Policy: PolicyConflate})
+	if err != nil {
+		return nil, err
+	}
+	r := &Relay{
+		hub:       h,
+		upstream:  up,
+		defBuffer: opt.LocalBuffer,
+		subs:      make(map[*RelaySub]struct{}),
+		done:      make(chan struct{}),
+	}
+	h.addRelay(r)
+	go r.pump()
+	return r, nil
+}
+
+// Subscribe attaches a local subscriber to the relay's feed.
+func (r *Relay) Subscribe(opt SubOptions) (*RelaySub, error) {
+	if opt.Buffer <= 0 {
+		opt.Buffer = r.defBuffer
+	}
+	sub := &RelaySub{relay: r, ring: newRing(opt.Buffer, opt.Policy)}
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return nil, ErrRelayClosed
+	}
+	r.subs[sub] = struct{}{}
+	r.mu.Unlock()
+	r.subCount.Add(1)
+	r.totSubs.Add(1)
+	return sub, nil
+}
+
+// pump is the relay's single consuming goroutine: it drains the
+// upstream ring and repeats each frame into every local ring. Local
+// pushes are O(1) and never wait, so one slow local subscriber cannot
+// stall its siblings any more than it could stall the hub.
+func (r *Relay) pump() {
+	defer close(r.done)
+	var evict []*RelaySub
+	for {
+		f, ok := r.upstream.ring.pop()
+		if !ok {
+			r.shutdown(r.upstream.Err())
+			return
+		}
+		r.relayed.Add(1)
+		evict = evict[:0]
+		r.mu.RLock()
+		for sub := range r.subs {
+			pushed, conflated, droppedOld := sub.ring.push(f)
+			switch {
+			case pushed && conflated:
+				r.localConf.Add(1)
+			case pushed:
+				r.fanned.Add(1)
+				if droppedOld {
+					r.localDrop.Add(1)
+				}
+			default: // overflow under PolicyDisconnect
+				evict = append(evict, sub)
+			}
+		}
+		r.mu.RUnlock()
+		for _, sub := range evict {
+			r.discon.Add(1)
+			sub.ring.closeNow(ErrSlowConsumer)
+			r.remove(sub)
+		}
+	}
+}
+
+// shutdown closes every local subscriber with the upstream closure
+// reason and deregisters the relay from its hub.
+func (r *Relay) shutdown(err error) {
+	if err == nil {
+		err = errConsumerClosed // deliberate Close: locals see a clean EOF
+	}
+	r.mu.Lock()
+	r.closed = true
+	subs := r.subs
+	r.subs = make(map[*RelaySub]struct{})
+	r.mu.Unlock()
+	for sub := range subs {
+		sub.ring.closeNow(err)
+		r.subCount.Add(-1)
+	}
+	r.hub.removeRelay(r)
+}
+
+// remove detaches one local subscriber.
+func (r *Relay) remove(sub *RelaySub) {
+	r.mu.Lock()
+	_, had := r.subs[sub]
+	delete(r.subs, sub)
+	r.mu.Unlock()
+	if had {
+		r.subCount.Add(-1)
+	}
+}
+
+// Close stops the relay: the upstream subscription is detached from
+// the hub, the pump drains out, and every local subscriber is closed.
+// It is idempotent and safe to call concurrently with hub shutdown.
+func (r *Relay) Close() {
+	r.upstream.Close()
+	<-r.done
+}
+
+// Topics returns the relay's upstream topic set.
+func (r *Relay) Topics() []string { return r.upstream.Topics() }
+
+// Stats returns the relay's instrumentation counters.
+func (r *Relay) Stats() RelayStats {
+	conf, drop := r.upstream.ring.overflowStats()
+	r.mu.RLock()
+	closed := r.closed
+	r.mu.RUnlock()
+	return RelayStats{
+		Subscribers:     r.subCount.Load(),
+		TotalSubs:       r.totSubs.Load(),
+		Relayed:         r.relayed.Load(),
+		Fanned:          r.fanned.Load(),
+		ConflationDrops: conf + drop,
+		LocalDropped:    r.localDrop.Load(),
+		LocalConflated:  r.localConf.Load(),
+		Disconnected:    r.discon.Load(),
+		Closed:          closed,
+	}
+}
+
+// RelaySub is one local subscriber attached to a relay. Recv is meant
+// for a single consuming goroutine; Close may be called from anywhere.
+type RelaySub struct {
+	relay *Relay
+	ring  *ring
+}
+
+// Recv blocks until the next frame is available, returning ok=false
+// once the subscription is closed.
+func (s *RelaySub) Recv() (Delivery, bool) {
+	f, ok := s.ring.pop()
+	if !ok {
+		return Delivery{}, false
+	}
+	return Delivery{Type: f.typ, Data: f.data}, true
+}
+
+// Err returns why the subscription closed (nil while open or after a
+// clean consumer-side / relay-side Close).
+func (s *RelaySub) Err() error {
+	err := s.ring.closeErr()
+	if err == errConsumerClosed {
+		return nil
+	}
+	return err
+}
+
+// Close detaches the subscription from its relay and wakes any
+// blocked Recv. It is idempotent.
+func (s *RelaySub) Close() {
+	s.ring.closeNow(errConsumerClosed)
+	s.relay.remove(s)
+}
+
+// RelayTierStats aggregates every live relay attached to a hub.
+type RelayTierStats struct {
+	Relays          int
+	Subscribers     int64
+	Relayed         int64
+	Fanned          int64
+	ConflationDrops int64
+	LocalDropped    int64
+	LocalConflated  int64
+	Disconnected    int64
+}
+
+// RelayStats aggregates the stats of every relay currently attached
+// to the hub.
+func (h *Hub) RelayStats() RelayTierStats {
+	h.relayMu.Lock()
+	relays := make([]*Relay, 0, len(h.relays))
+	for r := range h.relays {
+		relays = append(relays, r)
+	}
+	h.relayMu.Unlock()
+	var agg RelayTierStats
+	agg.Relays = len(relays)
+	for _, r := range relays {
+		st := r.Stats()
+		agg.Subscribers += st.Subscribers
+		agg.Relayed += st.Relayed
+		agg.Fanned += st.Fanned
+		agg.ConflationDrops += st.ConflationDrops
+		agg.LocalDropped += st.LocalDropped
+		agg.LocalConflated += st.LocalConflated
+		agg.Disconnected += st.Disconnected
+	}
+	return agg
+}
+
+func (h *Hub) addRelay(r *Relay) {
+	h.relayMu.Lock()
+	if h.relays == nil {
+		h.relays = make(map[*Relay]struct{})
+	}
+	h.relays[r] = struct{}{}
+	h.relayMu.Unlock()
+}
+
+func (h *Hub) removeRelay(r *Relay) {
+	h.relayMu.Lock()
+	delete(h.relays, r)
+	h.relayMu.Unlock()
+}

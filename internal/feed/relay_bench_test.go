@@ -1,0 +1,157 @@
+package feed
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"seatwin/internal/ais"
+	"seatwin/internal/events"
+	"seatwin/internal/geo"
+	"seatwin/internal/hexgrid"
+)
+
+// BenchmarkRelayFanout100k sustains ≥100,000 concurrent feed
+// subscribers behind a relay tier: 128 relays (each one upstream hub
+// subscription) carrying ~800 local subscribers apiece. The hub's
+// publisher fans each frame out to at most a handful of relay rings —
+// its cost is a function of the relay count, not the subscriber count
+// — and the relay pumps absorb the 100k-way local fan-out. One local
+// subscriber per relay is actively drained (the live-client sample);
+// the rest model idle dashboards whose drop-oldest rings absorb
+// overload without touching the publisher.
+func BenchmarkRelayFanout100k(b *testing.B) {
+	benchmarkRelayFanout(b, 128, 100_000)
+}
+
+// BenchmarkRelayFanout10k is the small-scale comparison point.
+func BenchmarkRelayFanout10k(b *testing.B) {
+	benchmarkRelayFanout(b, 32, 10_000)
+}
+
+func benchmarkRelayFanout(b *testing.B, nRelays, nSubs int) {
+	hub := NewHub(Options{RegionResolution: 7})
+	defer hub.Close()
+
+	const nVessels = 64
+	base := geo.Point{Lat: 37.5, Lon: 24.5}
+	positions := make([]geo.Point, nVessels)
+	cells := make([]string, nVessels)
+	for i := range positions {
+		positions[i] = geo.Point{Lat: base.Lat + float64(i%8)*0.1, Lon: base.Lon + float64(i/8%8)*0.1}
+		cells[i] = hexgrid.LatLonToCell(positions[i], 7).String()
+	}
+
+	// Relay tier: same topic mix as the flat fan-out benchmark.
+	relays := make([]*Relay, nRelays)
+	for i := range relays {
+		var topics []string
+		switch i % 5 {
+		case 0, 1:
+			topics = []string{TopicVesselPrefix + ais.MMSI(237000000+i%nVessels).String()}
+		case 2, 3:
+			topics = []string{TopicRegionPrefix + cells[i%nVessels]}
+		default:
+			topics = []string{TopicProximity, TopicCollision, TopicGap}
+		}
+		r, err := hub.NewRelay(topics, RelayOptions{Buffer: 256})
+		if err != nil {
+			b.Fatal(err)
+		}
+		relays[i] = r
+		defer r.Close()
+	}
+
+	// Local tier: nSubs subscribers spread evenly; tiny rings, the mix
+	// of policies real clients would pick.
+	subsPerRelay := (nSubs + nRelays - 1) / nRelays
+	policies := []Policy{PolicyDropOldest, PolicyConflate, PolicyDropOldest}
+	var drained atomic.Int64
+	var wg sync.WaitGroup
+	total := 0
+	for _, r := range relays {
+		for j := 0; j < subsPerRelay; j++ {
+			sub, err := r.Subscribe(SubOptions{Buffer: 4, Policy: policies[j%len(policies)]})
+			if err != nil {
+				b.Fatal(err)
+			}
+			total++
+			if j == 0 { // one live consumer per relay
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for {
+						if _, ok := sub.Recv(); !ok {
+							return
+						}
+						drained.Add(1)
+					}
+				}()
+			}
+		}
+	}
+	if got := hub.RelayStats().Subscribers; got < int64(nSubs) {
+		b.Fatalf("relay tier carries %d subscribers, want >= %d", got, nSubs)
+	}
+
+	ts := time.Date(2023, 9, 18, 9, 0, 0, 0, time.UTC)
+	var maxPublish time.Duration
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		v := i % nVessels
+		start := time.Now()
+		hub.PublishState(State{
+			MMSI: ais.MMSI(237000000 + v),
+			Lat:  positions[v].Lat, Lon: positions[v].Lon,
+			SOG: 12, COG: 90, TS: ts,
+		})
+		if i%50 == 0 {
+			hub.PublishEvent(events.Event{
+				Kind: events.KindProximity,
+				A:    ais.MMSI(237000000 + v), B: ais.MMSI(237000000 + (v+1)%nVessels),
+				At: ts, Pos: positions[v], Meters: 300,
+			})
+		}
+		if d := time.Since(start); d > maxPublish {
+			maxPublish = d
+		}
+	}
+	b.StopTimer()
+
+	// The publisher's fan-out degree is the relay count, not the
+	// subscriber count: a publish must stay bounded even with 100k
+	// subscribers attached downstream.
+	if maxPublish > 2*time.Second {
+		b.Fatalf("a publish took %v — the relay tier back-pressured the hub", maxPublish)
+	}
+	// Let the pumps drain the upstream rings (outside the timed region)
+	// so the local-tier numbers reflect actual deliveries: every frame
+	// the hub enqueued is eventually popped or conflated away.
+	s := hub.Snapshot()
+	tier := hub.RelayStats()
+	for deadline := time.Now().Add(10 * time.Second); time.Now().Before(deadline); {
+		tier = hub.RelayStats()
+		if tier.Relayed+tier.ConflationDrops >= s.Fanned+s.Conflated {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if s.Published > 0 {
+		b.ReportMetric(float64(s.Fanned+s.Conflated)/float64(s.Published), "hub-deliveries/frame")
+	}
+	if tier.Relayed > 0 {
+		b.ReportMetric(float64(tier.Fanned+tier.LocalConflated)/float64(tier.Relayed), "local-deliveries/frame")
+	}
+	b.ReportMetric(float64(tier.Subscribers), "subscribers")
+	b.ReportMetric(s.FanoutP99.Seconds()*1e6, "fanout-p99-µs")
+	b.ReportMetric(float64(maxPublish.Microseconds()), "max-publish-µs")
+
+	hub.Close()
+	wg.Wait()
+	if testing.Verbose() {
+		fmt.Printf("relay fanout: %d relays, %d subs, hub published %d / fanned %d; tier relayed %d, fanned %d, conflation drops %d, drained %d\n",
+			nRelays, total, s.Published, s.Fanned, tier.Relayed, tier.Fanned, tier.ConflationDrops, drained.Load())
+	}
+}

@@ -1,0 +1,287 @@
+package feed
+
+import (
+	"encoding/json"
+	"testing"
+	"time"
+
+	"seatwin/internal/ais"
+	"seatwin/internal/geo"
+)
+
+// relayRecvOne waits for one frame with a timeout.
+func relayRecvOne(t *testing.T, sub *RelaySub) Delivery {
+	t.Helper()
+	type res struct {
+		d  Delivery
+		ok bool
+	}
+	ch := make(chan res, 1)
+	go func() {
+		d, ok := sub.Recv()
+		ch <- res{d, ok}
+	}()
+	select {
+	case r := <-ch:
+		if !r.ok {
+			t.Fatalf("relay sub closed while waiting for a frame: %v", sub.Err())
+		}
+		return r.d
+	case <-time.After(5 * time.Second):
+		t.Fatal("no frame within 5s")
+		return Delivery{}
+	}
+}
+
+// waitRelay polls the relay's stats until cond holds (the pump is
+// asynchronous; fixed sleeps would be flaky).
+func waitRelay(t *testing.T, r *Relay, what string, cond func(RelayStats) bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond(r.Stats()) {
+		if time.Now().After(deadline) {
+			t.Fatalf("timeout waiting for %s; stats: %+v", what, r.Stats())
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// publishSync publishes n states for one vessel, waiting for the pump
+// to pop each frame before publishing the next, so the conflating
+// upstream ring never collapses frames and the per-frame local-policy
+// accounting is exact.
+func publishSync(t *testing.T, h *Hub, r *Relay, mmsi ais.MMSI, n int) {
+	t.Helper()
+	base := r.Stats().Relayed
+	for i := 0; i < n; i++ {
+		s := testState(mmsi, geo.Point{Lat: 37.5, Lon: 24.5})
+		s.TS = tRef.Add(time.Duration(i) * time.Second)
+		s.SOG = float64(i)
+		h.PublishState(s)
+		want := base + int64(i+1)
+		waitRelay(t, r, "frame pop", func(st RelayStats) bool { return st.Relayed >= want })
+	}
+}
+
+func TestRelayRoundTrip(t *testing.T) {
+	h := NewHub(Options{})
+	defer h.Close()
+	topic := TopicVesselPrefix + ais.MMSI(237000001).String()
+	r, err := h.NewRelay([]string{topic}, RelayOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+
+	a, err := r.Subscribe(SubOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := r.Subscribe(SubOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	defer b.Close()
+
+	h.PublishState(testState(237000001, geo.Point{Lat: 37.5, Lon: 24.5}))
+
+	for _, sub := range []*RelaySub{a, b} {
+		d := relayRecvOne(t, sub)
+		var doc map[string]any
+		if err := json.Unmarshal(d.Data, &doc); err != nil {
+			t.Fatal(err)
+		}
+		if doc["mmsi"] != "237000001" || d.Type != "state" {
+			t.Fatalf("frame: %v / %q", doc, d.Type)
+		}
+	}
+
+	// The hub performed exactly ONE ring push for this frame no matter
+	// how many local subscribers the relay carries — that is the tier's
+	// whole point.
+	if got := h.Snapshot().Fanned; got != 1 {
+		t.Fatalf("hub fanned %d pushes, want 1 (relay tier must absorb local fan-out)", got)
+	}
+	waitRelay(t, r, "fan-out accounting", func(st RelayStats) bool {
+		return st.Relayed == 1 && st.Fanned == 2
+	})
+	if st := r.Stats(); st.Subscribers != 2 || st.TotalSubs != 2 {
+		t.Fatalf("relay stats: %+v", st)
+	}
+	if agg := h.RelayStats(); agg.Relays != 1 || agg.Fanned != 2 {
+		t.Fatalf("tier stats: %+v", agg)
+	}
+}
+
+// TestRelaySlowSubscriberPolicies exercises each overflow policy on a
+// deliberately tiny local ring while the relay keeps pumping.
+func TestRelaySlowSubscriberPolicies(t *testing.T) {
+	mmsi := ais.MMSI(237000001)
+	topic := TopicVesselPrefix + mmsi.String()
+
+	t.Run("drop-oldest", func(t *testing.T) {
+		h := NewHub(Options{})
+		defer h.Close()
+		r, err := h.NewRelay([]string{topic}, RelayOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sub, err := r.Subscribe(SubOptions{Buffer: 2, Policy: PolicyDropOldest})
+		if err != nil {
+			t.Fatal(err)
+		}
+		publishSync(t, h, r, mmsi, 6)
+		// The ring holds the newest 2 frames: 4 older ones were evicted,
+		// and the first frame received must be frame 4 (sog=4).
+		waitRelay(t, r, "local drops", func(st RelayStats) bool { return st.LocalDropped == 4 })
+		d := relayRecvOne(t, sub)
+		var doc struct {
+			SOG float64 `json:"sog"`
+		}
+		if err := json.Unmarshal(d.Data, &doc); err != nil {
+			t.Fatal(err)
+		}
+		if doc.SOG != 4 {
+			t.Fatalf("oldest surviving frame sog=%v, want 4", doc.SOG)
+		}
+	})
+
+	t.Run("conflate", func(t *testing.T) {
+		h := NewHub(Options{})
+		defer h.Close()
+		r, err := h.NewRelay([]string{topic}, RelayOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sub, err := r.Subscribe(SubOptions{Buffer: 2, Policy: PolicyConflate})
+		if err != nil {
+			t.Fatal(err)
+		}
+		publishSync(t, h, r, mmsi, 6)
+		// All six frames share the vessel conflation key: the local ring
+		// holds exactly one frame — the newest.
+		waitRelay(t, r, "local conflation", func(st RelayStats) bool { return st.LocalConflated == 5 })
+		d := relayRecvOne(t, sub)
+		var doc struct {
+			SOG float64 `json:"sog"`
+		}
+		if err := json.Unmarshal(d.Data, &doc); err != nil {
+			t.Fatal(err)
+		}
+		if doc.SOG != 5 {
+			t.Fatalf("conflated frame sog=%v, want 5 (newest)", doc.SOG)
+		}
+	})
+
+	t.Run("disconnect", func(t *testing.T) {
+		h := NewHub(Options{})
+		defer h.Close()
+		r, err := h.NewRelay([]string{topic}, RelayOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sub, err := r.Subscribe(SubOptions{Buffer: 2, Policy: PolicyDisconnect})
+		if err != nil {
+			t.Fatal(err)
+		}
+		publishSync(t, h, r, mmsi, 6)
+		// The third frame overflowed the ring: the subscriber must be
+		// force-closed with ErrSlowConsumer.
+		deadline := time.Now().Add(5 * time.Second)
+		for sub.Err() == nil {
+			if time.Now().After(deadline) {
+				t.Fatal("slow subscriber was not disconnected")
+			}
+			time.Sleep(time.Millisecond)
+		}
+		if sub.Err() != ErrSlowConsumer {
+			t.Fatalf("err = %v, want ErrSlowConsumer", sub.Err())
+		}
+		waitRelay(t, r, "eviction accounting", func(st RelayStats) bool {
+			return st.Disconnected == 1 && st.Subscribers == 0
+		})
+	})
+}
+
+// TestRelayDoesNotBlockPublisher is the regression the tier exists
+// for: with local subscribers that never consume and a tiny upstream
+// ring, publishing through the hub must stay fast — the conflating
+// upstream ring absorbs the backlog instead of back-pressuring the
+// publisher.
+func TestRelayDoesNotBlockPublisher(t *testing.T) {
+	h := NewHub(Options{})
+	defer h.Close()
+	topic := TopicVesselPrefix + ais.MMSI(237000001).String()
+	r, err := h.NewRelay([]string{topic}, RelayOptions{Buffer: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	// 32 local subscribers, none of which ever calls Recv.
+	for i := 0; i < 32; i++ {
+		if _, err := r.Subscribe(SubOptions{Buffer: 4, Policy: PolicyDropOldest}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	const n = 5000
+	var maxPublish time.Duration
+	start := time.Now()
+	for i := 0; i < n; i++ {
+		s := testState(237000001, geo.Point{Lat: 37.5, Lon: 24.5})
+		s.TS = tRef.Add(time.Duration(i) * time.Second)
+		t0 := time.Now()
+		h.PublishState(s)
+		if d := time.Since(t0); d > maxPublish {
+			maxPublish = d
+		}
+	}
+	total := time.Since(start)
+	if total > 10*time.Second {
+		t.Fatalf("publishing %d frames through a backlogged relay took %v", n, total)
+	}
+	if maxPublish > time.Second {
+		t.Fatalf("slowest single publish took %v — the relay is back-pressuring the hub", maxPublish)
+	}
+	// Every frame is accounted for: eventually popped by the pump or
+	// conflated away in the upstream ring — never stuck in the
+	// publisher's path.
+	waitRelay(t, r, "backlog to drain", func(st RelayStats) bool {
+		return st.Relayed+st.ConflationDrops >= n
+	})
+}
+
+// TestRelayHubCloseCascades: shutting the hub down must close the
+// relay's upstream, drain the pump, and close every local subscriber
+// with ErrHubClosed.
+func TestRelayHubCloseCascades(t *testing.T) {
+	h := NewHub(Options{})
+	topic := TopicVesselPrefix + ais.MMSI(237000001).String()
+	r, err := h.NewRelay([]string{topic}, RelayOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub, err := r.Subscribe(SubOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.Close()
+	if _, ok := sub.Recv(); ok {
+		t.Fatal("Recv succeeded after hub close")
+	}
+	if sub.Err() != ErrHubClosed {
+		t.Fatalf("err = %v, want ErrHubClosed", sub.Err())
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for h.RelayStats().Relays != 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("relay did not deregister after hub close")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if _, err := r.Subscribe(SubOptions{}); err != ErrRelayClosed {
+		t.Fatalf("Subscribe on dead relay: %v, want ErrRelayClosed", err)
+	}
+	r.Close() // idempotent; must not hang
+}

@@ -11,6 +11,7 @@ import (
 	"seatwin/internal/feed"
 	"seatwin/internal/geo"
 	"seatwin/internal/hexgrid"
+	"seatwin/internal/views"
 )
 
 // Messages exchanged between the pipeline's actors.
@@ -390,6 +391,20 @@ func (w *writerActor) writeState(m stateMsg) {
 			Forecast: m.forecast,
 		})
 	}
+	if v := w.p.cfg.Views; v != nil {
+		// The read-side views stage the state in a sharded buffer; the
+		// snapshot rebuild happens on the views' own refresh cadence, so
+		// this is a few field copies plus one stripe lock — never a
+		// snapshot encode on the writer's hot path.
+		v.ApplyState(views.VesselState{
+			MMSI: m.report.MMSI, Name: static.Name,
+			Lat: m.report.Lat, Lon: m.report.Lon,
+			SOG: m.report.SOG, COG: m.report.COG,
+			Status:   m.report.Status.String(),
+			TS:       m.report.Timestamp,
+			Forecast: m.forecast,
+		})
+	}
 	// One batched write per state update — a single lock acquisition on
 	// the store — with the whole document encoded into the writer's
 	// reused field encoder: every value is appended into one shared
@@ -439,6 +454,9 @@ func (w *writerActor) writeEvent(e events.Event) {
 	}
 	if w.p.cfg.Feed != nil {
 		w.p.system.Events().Publish(e)
+	}
+	if v := w.p.cfg.Views; v != nil {
+		v.ApplyEvent(e)
 	}
 	// The member is byte-appended into the writer's reused buffer —
 	// the format matches the fmt.Sprintf("%s|%s|%s|%.0fm|%s") it

@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"seatwin/internal/broker"
+	"seatwin/internal/geo"
 	"seatwin/internal/lvrf"
 )
 
@@ -38,6 +39,7 @@ func NewAPI(p *Pipeline) *API {
 	mux.HandleFunc("/api/vessels", a.handleVessels)
 	mux.HandleFunc("/api/vessels/", a.handleVessel)
 	mux.HandleFunc("/api/events", a.handleEvents)
+	mux.HandleFunc("/api/regions", a.handleRegions)
 	mux.HandleFunc("/api/series", a.handleSeries)
 	mux.HandleFunc("/api/congestion", a.handleCongestion)
 	mux.HandleFunc("/api/route", a.handleRoute)
@@ -150,6 +152,36 @@ func (a *API) handleStats(w http.ResponseWriter, _ *http.Request) {
 		"checkpoint_restores": s.CheckpointRestores,
 		"checkpoint_failures": s.CheckpointFailures,
 	}
+	if v := a.p.cfg.Views; v != nil {
+		vs := v.Stats()
+		doc["views"] = map[string]any{
+			"epoch":          vs.Epoch,
+			"epoch_age":      vs.EpochAge.String(),
+			"refreshes":      vs.Refreshes,
+			"states_applied": vs.StatesApplied,
+			"events_applied": vs.EventsApplied,
+			"refresh_mean":   vs.RefreshMean.String(),
+			"refresh_p99":    vs.RefreshP99.String(),
+			"snapshot_bytes": vs.SnapshotBytes,
+			"vessels":        vs.Vessels,
+			"cells":          vs.Cells,
+			"events_window":  vs.EventsWindow,
+		}
+	}
+	if hub := a.p.cfg.Feed; hub != nil {
+		if rs := hub.RelayStats(); rs.Relays > 0 {
+			doc["feed_relays"] = map[string]any{
+				"relays":           rs.Relays,
+				"subscribers":      rs.Subscribers,
+				"relayed":          rs.Relayed,
+				"fanned":           rs.Fanned,
+				"conflation_drops": rs.ConflationDrops,
+				"local_dropped":    rs.LocalDropped,
+				"local_conflated":  rs.LocalConflated,
+				"disconnected":     rs.Disconnected,
+			}
+		}
+	}
 	if cs := s.Cluster; cs != nil {
 		doc["cluster"] = map[string]any{
 			"worker_id":        cs.WorkerID,
@@ -220,24 +252,103 @@ func (a *API) vesselDoc(mmsi string) (vesselJSON, bool) {
 	return doc, true
 }
 
+// parseBBox resolves an optional bounding-box query parameter of the
+// form "minLat,minLon,maxLat,maxLon". nil with ok=true means no box
+// was requested; ok=false means a 400 has been written.
+func parseBBox(w http.ResponseWriter, r *http.Request) (*geo.BBox, bool) {
+	q := r.URL.Query().Get("bbox")
+	if q == "" {
+		return nil, true
+	}
+	bad := func(why string) (*geo.BBox, bool) {
+		http.Error(w, fmt.Sprintf("bbox must be minLat,minLon,maxLat,maxLon (%s), got %q", why, q), http.StatusBadRequest)
+		return nil, false
+	}
+	parts := strings.Split(q, ",")
+	if len(parts) != 4 {
+		return bad("four comma-separated numbers")
+	}
+	var vals [4]float64
+	for i, p := range parts {
+		v, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+		if err != nil {
+			return bad("non-numeric component")
+		}
+		vals[i] = v
+	}
+	box := &geo.BBox{MinLat: vals[0], MinLon: vals[1], MaxLat: vals[2], MaxLon: vals[3]}
+	if box.MinLat > box.MaxLat || box.MinLon > box.MaxLon {
+		return bad("min greater than max")
+	}
+	return box, true
+}
+
 func (a *API) handleVessels(w http.ResponseWriter, r *http.Request) {
 	limit, ok := parseLimit(w, r, "limit", 100)
 	if !ok {
 		return
 	}
-	members, err := a.p.store.ZRangeByScore("vessels:active", 0, 1e18)
+	box, ok := parseBBox(w, r)
+	if !ok {
+		return
+	}
+	if v := a.p.cfg.Views; v != nil {
+		// Materialized-view path: one atomic snapshot load, pre-encoded
+		// JSON straight onto the wire — no store scan, no locks, no
+		// per-request allocation.
+		w.Header().Set("Content-Type", "application/json")
+		snap := v.Vessels()
+		if _, err := snap.WriteJSON(w, limit, box); err != nil {
+			log.Printf("api: write vessels view: %v", err)
+		}
+		return
+	}
+	// Legacy kvstore path: walk the active index newest-first, bounded.
+	// Without a box the scan reads exactly `limit` members; with one it
+	// over-scans by a capped factor (a box can reject most candidates)
+	// rather than the whole index — a 170k-vessel store must never be
+	// materialised for one request.
+	scanCap := limit
+	if box != nil {
+		scanCap = limit * 16
+		if scanCap > 16384 {
+			scanCap = 16384
+		}
+	}
+	members, err := a.p.store.ZRevRangeByScore("vessels:active", 0, 1e18, scanCap)
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusInternalServerError)
 		return
 	}
-	// Newest first.
 	out := make([]vesselJSON, 0, limit)
-	for i := len(members) - 1; i >= 0 && len(out) < limit; i-- {
-		if doc, ok := a.vesselDoc(members[i].Member); ok {
-			out = append(out, doc)
+	for _, m := range members { // already newest first
+		if len(out) >= limit {
+			break
 		}
+		doc, ok := a.vesselDoc(m.Member)
+		if !ok {
+			continue
+		}
+		if box != nil && !box.Contains(geo.Point{Lat: doc.Lat, Lon: doc.Lon}) {
+			continue
+		}
+		out = append(out, doc)
 	}
 	writeJSON(w, out)
+}
+
+// handleRegions serves the per-hex-cell traffic rollup. The view is
+// the only producer of this aggregate — 404 when views are disabled.
+func (a *API) handleRegions(w http.ResponseWriter, _ *http.Request) {
+	v := a.p.cfg.Views
+	if v == nil {
+		http.Error(w, "materialized views not configured", http.StatusNotFound)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if err := v.Regions().WriteJSON(w); err != nil {
+		log.Printf("api: write regions view: %v", err)
+	}
 }
 
 func (a *API) handleVessel(w http.ResponseWriter, r *http.Request) {
@@ -253,6 +364,13 @@ func (a *API) handleVessel(w http.ResponseWriter, r *http.Request) {
 func (a *API) handleEvents(w http.ResponseWriter, r *http.Request) {
 	limit, ok := parseLimit(w, r, "limit", 100)
 	if !ok {
+		return
+	}
+	if v := a.p.cfg.Views; v != nil {
+		w.Header().Set("Content-Type", "application/json")
+		if _, err := v.Events().WriteJSON(w, limit); err != nil {
+			log.Printf("api: write events view: %v", err)
+		}
 		return
 	}
 	evs := a.p.log.Recent(limit)
@@ -357,6 +475,16 @@ func (a *API) handleCongestion(w http.ResponseWriter, _ *http.Request) {
 		http.Error(w, "port monitoring not configured", http.StatusNotFound)
 		return
 	}
+	if v := a.p.cfg.Views; v != nil {
+		// The rollup was evaluated on the last refresh; serving it is one
+		// atomic load and one write (the per-request monitor Snapshot —
+		// a global lock — is what this path removes).
+		w.Header().Set("Content-Type", "application/json")
+		if err := v.Congestion().WriteJSON(w); err != nil {
+			log.Printf("api: write congestion view: %v", err)
+		}
+		return
+	}
 	type portJSON struct {
 		Port      string  `json:"port"`
 		Lat       float64 `json:"lat"`
@@ -433,6 +561,31 @@ func (a *API) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 		counter("seatwin_feed_frames_conflated_total", "frames conflated in place by key", float64(fs.Conflated))
 		counter("seatwin_feed_disconnects_total", "slow consumers force-disconnected", float64(fs.Disconnected))
 		gauge("seatwin_feed_fanout_p99_seconds", "p99 hub fan-out latency per publish", fs.FanoutP99.Seconds())
+		if rs := hub.RelayStats(); rs.Relays > 0 {
+			gauge("seatwin_feed_relays", "relay tiers attached to the hub", float64(rs.Relays))
+			gauge("seatwin_feed_relay_subscribers", "local subscribers behind relay tiers", float64(rs.Subscribers))
+			counter("seatwin_feed_relay_frames_total", "frames pumped through relay tiers", float64(rs.Relayed))
+			counter("seatwin_feed_relay_fanned_total", "frame deliveries enqueued to relay-local rings", float64(rs.Fanned))
+		}
+	}
+	if v := a.p.cfg.Views; v != nil {
+		vs := v.Stats()
+		gauge("seatwin_views_epoch", "current materialized-view epoch", float64(vs.Epoch))
+		gauge("seatwin_views_epoch_age_seconds", "age of the serving snapshots", vs.EpochAge.Seconds())
+		counter("seatwin_views_refreshes_total", "snapshot rebuild-and-swap cycles", float64(vs.Refreshes))
+		counter("seatwin_views_states_applied_total", "vessel state deltas staged into the views", float64(vs.StatesApplied))
+		counter("seatwin_views_events_applied_total", "events staged into the views", float64(vs.EventsApplied))
+		gauge("seatwin_views_refresh_mean_seconds", "mean snapshot rebuild latency", vs.RefreshMean.Seconds())
+		gauge("seatwin_views_refresh_p99_seconds", "p99 snapshot rebuild latency", vs.RefreshP99.Seconds())
+		gauge("seatwin_views_snapshot_bytes", "pre-encoded bytes across current snapshots", float64(vs.SnapshotBytes))
+		gauge("seatwin_views_vessels", "vessels in the current world-view snapshot", float64(vs.Vessels))
+		gauge("seatwin_views_cells", "hex cells in the current region snapshot", float64(vs.Cells))
+		gauge("seatwin_views_events_window", "events in the current recent-events window", float64(vs.EventsWindow))
+		if hub := a.p.cfg.Feed; hub != nil {
+			counter("seatwin_views_relay_conflation_drops_total",
+				"upstream frames conflated away or evicted in relay tiers before local fan-out",
+				float64(hub.RelayStats().ConflationDrops))
+		}
 	}
 	if in := a.p.cfg.Chaos; in != nil {
 		cs := in.Stats()

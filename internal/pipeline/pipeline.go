@@ -29,6 +29,7 @@ import (
 	"seatwin/internal/lvrf"
 	"seatwin/internal/metrics"
 	"seatwin/internal/retry"
+	"seatwin/internal/views"
 )
 
 // Config assembles a Pipeline.
@@ -79,6 +80,15 @@ type Config struct {
 	// deployment attach the hub to the output topics instead with
 	// feed.Hub.ConsumeLoop and DecodeFeedRecord.
 	Feed *feed.Hub
+	// Views, when non-nil, is the read-side serving layer: the writer
+	// actors publish every vessel state and event into it, and the API
+	// serves /api/vessels, /api/events, /api/regions and /api/congestion
+	// from its epoch-swapped snapshots instead of scanning the kvstore
+	// per request (see internal/views). The pipeline wires the
+	// congestion monitor in as the views' congestion source when Ports
+	// is also set. The caller owns the Views' lifecycle (Close it after
+	// Shutdown). Nil keeps the kvstore-backed read path unchanged.
+	Views *views.Views
 	// OutputBroker, when non-nil, receives dedicated output streams —
 	// the §7 plan to "leverage Kafka topics to produce streams of
 	// dedicated system, model and actor-based outputs": the writer
@@ -342,6 +352,12 @@ func New(cfg Config) (*Pipeline, error) {
 	}
 	if len(cfg.Ports) > 0 {
 		p.congestion = congestion.NewMonitor(cfg.Ports, 0)
+	}
+	if cfg.Views != nil && p.congestion != nil {
+		mon := p.congestion
+		cfg.Views.SetCongestionSource(func() []congestion.Status {
+			return mon.Snapshot(time.Time{}) // zero = newest observed (sim time)
+		})
 	}
 	if cfg.OutputBroker != nil {
 		if p.cfg.OutputEventsTopic == "" {
@@ -1056,6 +1072,10 @@ func (p *Pipeline) Shutdown(timeout time.Duration) {
 
 // Feed returns the live-feed hub, or nil when not configured.
 func (p *Pipeline) Feed() *feed.Hub { return p.cfg.Feed }
+
+// Views returns the read-side serving layer, or nil when not
+// configured.
+func (p *Pipeline) Views() *views.Views { return p.cfg.Views }
 
 // DecodeFeedRecord converts one record of the seatwin-states /
 // seatwin-events output topics into a feed hub input — the adapter for

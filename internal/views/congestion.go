@@ -1,0 +1,66 @@
+package views
+
+import (
+	"io"
+	"strconv"
+	"time"
+)
+
+// CongestionSnapshot is one immutable port-congestion rollup: the
+// monitor's statuses evaluated once per refresh instead of once per
+// request (the monitor takes a global lock per Snapshot call — exactly
+// what the read path must not pay per hit).
+type CongestionSnapshot struct {
+	Epoch   uint64
+	BuiltAt time.Time
+	Ports   int
+	body    []byte
+}
+
+func emptyCongestionSnapshot() *CongestionSnapshot {
+	return &CongestionSnapshot{body: []byte("[]\n")}
+}
+
+// WriteJSON writes the whole pre-encoded rollup in one Write.
+func (s *CongestionSnapshot) WriteJSON(w io.Writer) error {
+	_, err := w.Write(s.body)
+	return err
+}
+
+// buildCongestionSnapshot evaluates the wired source (nil keeps the
+// view empty) and encodes the legacy portJSON documents.
+func (v *Views) buildCongestionSnapshot(epoch uint64, builtAt time.Time) *CongestionSnapshot {
+	src := v.congestionSource
+	if src == nil {
+		snap := emptyCongestionSnapshot()
+		snap.Epoch, snap.BuiltAt = epoch, builtAt
+		return snap
+	}
+	statuses := src()
+	body := make([]byte, 0, 128*len(statuses)+3)
+	body = append(body, '[')
+	for i, st := range statuses {
+		if i > 0 {
+			body = append(body, ',')
+		}
+		body = append(body, `{"port":`...)
+		body = appendJSONString(body, st.Port.Name)
+		body = append(body, `,"lat":`...)
+		body = strconv.AppendFloat(body, st.Port.Pos.Lat, 'f', 5, 64)
+		body = append(body, `,"lon":`...)
+		body = strconv.AppendFloat(body, st.Port.Pos.Lon, 'f', 5, 64)
+		body = append(body, `,"capacity":`...)
+		body = strconv.AppendInt(body, int64(st.Port.Capacity), 10)
+		body = append(body, `,"present":`...)
+		body = strconv.AppendInt(body, int64(st.Present), 10)
+		body = append(body, `,"arriving":`...)
+		body = strconv.AppendInt(body, int64(st.Arriving), 10)
+		body = append(body, `,"peak_predicted":`...)
+		body = strconv.AppendInt(body, int64(st.PeakPredicted), 10)
+		body = append(body, `,"congested":`...)
+		body = strconv.AppendBool(body, st.Congested())
+		body = append(body, '}')
+	}
+	body = append(body, ']', '\n')
+	return &CongestionSnapshot{Epoch: epoch, BuiltAt: builtAt, Ports: len(statuses), body: body}
+}

@@ -1,0 +1,118 @@
+package views
+
+import (
+	"strconv"
+	"time"
+	"unicode/utf8"
+
+	"seatwin/internal/events"
+)
+
+// The view documents mirror the legacy API's wire shapes exactly, so
+// flipping a deployment onto views is invisible to clients. Encoding is
+// hand-rolled appends: every document is built once on the write/refresh
+// side and served as immutable bytes.
+
+// appendJSONString appends a JSON string literal (with escaping; AIS
+// names are 6-bit-charset clean, but the encoder must not trust that).
+func appendJSONString(b []byte, s string) []byte {
+	b = append(b, '"')
+	for i := 0; i < len(s); {
+		c := s[i]
+		if c < 0x20 || c == '"' || c == '\\' {
+			switch c {
+			case '"':
+				b = append(b, '\\', '"')
+			case '\\':
+				b = append(b, '\\', '\\')
+			case '\n':
+				b = append(b, '\\', 'n')
+			case '\r':
+				b = append(b, '\\', 'r')
+			case '\t':
+				b = append(b, '\\', 't')
+			default:
+				b = append(b, '\\', 'u', '0', '0',
+					"0123456789abcdef"[c>>4], "0123456789abcdef"[c&0xf])
+			}
+			i++
+			continue
+		}
+		r, size := utf8.DecodeRuneInString(s[i:])
+		if r == utf8.RuneError && size == 1 {
+			b = append(b, '\\', 'u', 'f', 'f', 'f', 'd')
+			i++
+			continue
+		}
+		b = append(b, s[i:i+size]...)
+		i += size
+	}
+	return append(b, '"')
+}
+
+// appendVesselJSON renders one vessel state as the legacy vesselJSON
+// document.
+func appendVesselJSON(b []byte, s *VesselState) []byte {
+	b = append(b, `{"mmsi":"`...)
+	b = s.MMSI.Append(b)
+	b = append(b, '"')
+	if s.Name != "" {
+		b = append(b, `,"name":`...)
+		b = appendJSONString(b, s.Name)
+	}
+	b = append(b, `,"lat":`...)
+	b = strconv.AppendFloat(b, s.Lat, 'f', 5, 64)
+	b = append(b, `,"lon":`...)
+	b = strconv.AppendFloat(b, s.Lon, 'f', 5, 64)
+	b = append(b, `,"sog":`...)
+	b = strconv.AppendFloat(b, s.SOG, 'f', 1, 64)
+	b = append(b, `,"cog":`...)
+	b = strconv.AppendFloat(b, s.COG, 'f', 1, 64)
+	b = append(b, `,"status":`...)
+	b = appendJSONString(b, s.Status)
+	b = append(b, `,"ts":"`...)
+	b = s.TS.UTC().AppendFormat(b, time.RFC3339)
+	b = append(b, '"')
+	if len(s.Forecast) > 0 {
+		b = append(b, `,"forecast":[`...)
+		for i, p := range s.Forecast {
+			if i > 0 {
+				b = append(b, ',')
+			}
+			b = append(b, `{"lat":`...)
+			b = strconv.AppendFloat(b, p.Pos.Lat, 'f', 5, 64)
+			b = append(b, `,"lon":`...)
+			b = strconv.AppendFloat(b, p.Pos.Lon, 'f', 5, 64)
+			b = append(b, `,"t":`...)
+			b = strconv.AppendInt(b, p.At.Unix(), 10)
+			b = append(b, '}')
+		}
+		b = append(b, ']')
+	}
+	return append(b, '}')
+}
+
+// appendEventJSON renders one event as the legacy eventJSON document.
+func appendEventJSON(b []byte, e events.Event) []byte {
+	b = append(b, `{"kind":`...)
+	b = appendJSONString(b, string(e.Kind))
+	b = append(b, `,"a":"`...)
+	b = e.A.Append(b)
+	b = append(b, '"')
+	if e.B != 0 {
+		b = append(b, `,"b":"`...)
+		b = e.B.Append(b)
+		b = append(b, '"')
+	}
+	b = append(b, `,"at":"`...)
+	b = e.At.UTC().AppendFormat(b, time.RFC3339)
+	b = append(b, `","lat":`...)
+	b = strconv.AppendFloat(b, e.Pos.Lat, 'f', 5, 64)
+	b = append(b, `,"lon":`...)
+	b = strconv.AppendFloat(b, e.Pos.Lon, 'f', 5, 64)
+	if e.Meters != 0 {
+		b = append(b, `,"meters":`...)
+		b = strconv.AppendFloat(b, e.Meters, 'f', 1, 64)
+	}
+	return append(b, '}')
+}

@@ -1,0 +1,161 @@
+package views
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"seatwin/internal/ais"
+)
+
+// TestEpochSwapNoTornSnapshot hammers the registry with concurrent
+// writers, refreshes and readers (run under -race in CI): every
+// snapshot a reader observes must be internally consistent — valid
+// JSON, items agreeing with the pre-built body, newest-first ordering —
+// and epochs must never go backwards for any single reader.
+func TestEpochSwapNoTornSnapshot(t *testing.T) {
+	v := manual(t, Config{DefaultLimit: 8})
+	base := time.Date(2023, 9, 18, 9, 0, 0, 0, time.UTC)
+	var tick atomic.Int64
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+
+	// Writers: 4 goroutines updating an overlapping fleet.
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				m := ais.MMSI(237000001 + (w*13+i)%32)
+				ts := base.Add(time.Duration(tick.Add(1)) * time.Millisecond)
+				v.ApplyState(state(m, 37.0+float64(i%10)*0.1, 24.0+float64(w)*0.1, 10, ts))
+			}
+		}(w)
+	}
+	// Refresher: continuous swaps.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				v.Refresh()
+			}
+		}
+	}()
+
+	// Readers: verify consistency on every observed snapshot.
+	var reads atomic.Int64
+	readErr := make(chan error, 8)
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var lastEpoch uint64
+			var buf bytes.Buffer
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				snap := v.Vessels()
+				if snap.Epoch < lastEpoch {
+					readErr <- fmt.Errorf("epoch went backwards: %d after %d", snap.Epoch, lastEpoch)
+					return
+				}
+				lastEpoch = snap.Epoch
+				buf.Reset()
+				n, err := snap.WriteJSON(&buf, 0, nil)
+				if err != nil {
+					readErr <- err
+					return
+				}
+				var docs []vesselDoc
+				if err := json.Unmarshal(buf.Bytes(), &docs); err != nil {
+					readErr <- fmt.Errorf("torn snapshot (invalid JSON): %v", err)
+					return
+				}
+				if len(docs) != n || n != len(snap.Items) {
+					readErr <- fmt.Errorf("body/item mismatch: wrote %d, decoded %d, items %d", n, len(docs), len(snap.Items))
+					return
+				}
+				for i := 1; i < len(snap.Items); i++ {
+					if snap.Items[i].TS > snap.Items[i-1].TS {
+						readErr <- fmt.Errorf("snapshot not newest-first at %d", i)
+						return
+					}
+				}
+				reads.Add(1)
+			}
+		}()
+	}
+
+	time.Sleep(500 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+	select {
+	case err := <-readErr:
+		t.Fatal(err)
+	default:
+	}
+	if reads.Load() == 0 {
+		t.Fatal("readers made no progress")
+	}
+}
+
+// TestStalenessBound: once Refresh returns epoch e, no reader may
+// observe an older epoch on any view — the snapshot swap must complete
+// before Refresh returns.
+func TestStalenessBound(t *testing.T) {
+	v := manual(t, Config{})
+	base := time.Date(2023, 9, 18, 9, 0, 0, 0, time.UTC)
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	errs := make(chan error, 4)
+	// Concurrent refreshers make the bound non-trivial: the epochs they
+	// return interleave, and each return still promises visibility.
+	for r := 0; r < 2; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				v.ApplyState(state(ais.MMSI(237000001+r), 37.5, 24.5, 10,
+					base.Add(time.Duration(i)*time.Second)))
+				e := v.Refresh()
+				for _, got := range []uint64{
+					v.Vessels().Epoch, v.Regions().Epoch, v.Events().Epoch, v.Congestion().Epoch,
+				} {
+					if got < e {
+						errs <- fmt.Errorf("observed epoch %d after Refresh returned %d", got, e)
+						return
+					}
+				}
+			}
+		}(r)
+	}
+	time.Sleep(300 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+	select {
+	case err := <-errs:
+		t.Fatal(err)
+	default:
+	}
+}

@@ -1,0 +1,73 @@
+package views
+
+import (
+	"io"
+	"time"
+)
+
+// EventSnapshot is one immutable recent-events window, oldest first
+// (matching the legacy /api/events ordering).
+type EventSnapshot struct {
+	Epoch   uint64
+	BuiltAt time.Time
+	// Items are the encoded event documents, oldest first.
+	Items [][]byte
+	body  []byte // pre-concatenated full window
+	bytes int64
+}
+
+func emptyEventSnapshot() *EventSnapshot {
+	return &EventSnapshot{body: []byte("[]\n")}
+}
+
+// WriteJSON streams the newest `limit` events (oldest of those first)
+// as one JSON array; limit <= 0 or >= the window writes the pre-built
+// full body in one Write. It returns the number of events written.
+func (s *EventSnapshot) WriteJSON(w io.Writer, limit int) (int, error) {
+	if limit <= 0 || limit >= len(s.Items) {
+		_, err := w.Write(s.body)
+		return len(s.Items), err
+	}
+	if _, err := w.Write(jsonOpen); err != nil {
+		return 0, err
+	}
+	items := s.Items[len(s.Items)-limit:]
+	for i, enc := range items {
+		if i > 0 {
+			if _, err := w.Write(jsonComma); err != nil {
+				return i, err
+			}
+		}
+		if _, err := w.Write(enc); err != nil {
+			return i, err
+		}
+	}
+	_, err := w.Write(jsonClose)
+	return len(items), err
+}
+
+// buildEventSnapshot copies the staged ring into a fresh window. The
+// encoded documents themselves are shared (immutable facts).
+func (v *Views) buildEventSnapshot(epoch uint64, builtAt time.Time) *EventSnapshot {
+	v.evMu.Lock()
+	items := make([][]byte, v.evCount)
+	for i := 0; i < v.evCount; i++ {
+		items[i] = v.evRing[(v.evStart+i)%len(v.evRing)]
+	}
+	v.evMu.Unlock()
+	snap := &EventSnapshot{Epoch: epoch, BuiltAt: builtAt, Items: items}
+	for _, enc := range items {
+		snap.bytes += int64(len(enc))
+	}
+	body := make([]byte, 0, snap.bytes+int64(len(items))+3)
+	body = append(body, '[')
+	for i, enc := range items {
+		if i > 0 {
+			body = append(body, ',')
+		}
+		body = append(body, enc...)
+	}
+	body = append(body, ']', '\n')
+	snap.body = body
+	return snap
+}

@@ -1,0 +1,319 @@
+package views
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+	"time"
+
+	"seatwin/internal/ais"
+	"seatwin/internal/congestion"
+	"seatwin/internal/events"
+	"seatwin/internal/geo"
+)
+
+// manual returns a registry without a background refresher: tests drive
+// Refresh themselves.
+func manual(t *testing.T, cfg Config) *Views {
+	t.Helper()
+	cfg.RefreshInterval = -1
+	v := New(cfg)
+	t.Cleanup(v.Close)
+	return v
+}
+
+func state(m ais.MMSI, lat, lon, sog float64, ts time.Time) VesselState {
+	return VesselState{
+		MMSI: m, Name: "V" + m.String(), Lat: lat, Lon: lon,
+		SOG: sog, COG: 90, Status: "under way using engine", TS: ts,
+	}
+}
+
+// vesselDoc mirrors the legacy API document for decode-side checks.
+type vesselDoc struct {
+	MMSI   string  `json:"mmsi"`
+	Name   string  `json:"name"`
+	Lat    float64 `json:"lat"`
+	Lon    float64 `json:"lon"`
+	SOG    float64 `json:"sog"`
+	COG    float64 `json:"cog"`
+	Status string  `json:"status"`
+	TS     string  `json:"ts"`
+	Fc     []struct {
+		Lat float64 `json:"lat"`
+		Lon float64 `json:"lon"`
+		T   int64   `json:"t"`
+	} `json:"forecast"`
+}
+
+func decodeVessels(t *testing.T, snap *VesselSnapshot, limit int, box *geo.BBox) []vesselDoc {
+	t.Helper()
+	var buf bytes.Buffer
+	if _, err := snap.WriteJSON(&buf, limit, box); err != nil {
+		t.Fatal(err)
+	}
+	var docs []vesselDoc
+	if err := json.Unmarshal(buf.Bytes(), &docs); err != nil {
+		t.Fatalf("snapshot body is not valid JSON: %v\n%s", err, buf.String())
+	}
+	return docs
+}
+
+func TestWorldViewRoundTrip(t *testing.T) {
+	v := manual(t, Config{})
+	ts := time.Date(2023, 9, 18, 9, 0, 0, 0, time.UTC)
+	v.ApplyState(VesselState{
+		MMSI: 237000001, Name: `T"quoted"`, Lat: 37.5, Lon: 24.5,
+		SOG: 12.3, COG: 91.5, Status: "under way using engine", TS: ts,
+		Forecast: []events.ForecastPoint{
+			{Pos: geo.Point{Lat: 37.6, Lon: 24.6}, At: ts.Add(5 * time.Minute)},
+		},
+	})
+	v.ApplyState(state(237000002, 38.0, 25.0, 0.1, ts.Add(time.Second)))
+	e := v.Refresh()
+	snap := v.Vessels()
+	if snap.Epoch != e {
+		t.Fatalf("snapshot epoch %d, refresh returned %d", snap.Epoch, e)
+	}
+	docs := decodeVessels(t, snap, 0, nil)
+	if len(docs) != 2 {
+		t.Fatalf("vessels = %d, want 2", len(docs))
+	}
+	// Newest first.
+	if docs[0].MMSI != "237000002" || docs[1].MMSI != "237000001" {
+		t.Fatalf("ordering: %s then %s", docs[0].MMSI, docs[1].MMSI)
+	}
+	d := docs[1]
+	if d.Name != `T"quoted"` {
+		t.Fatalf("name escaping lost: %q", d.Name)
+	}
+	if d.Lat != 37.5 || d.SOG != 12.3 || d.Status != "under way using engine" {
+		t.Fatalf("doc fields: %+v", d)
+	}
+	if d.TS != ts.Format(time.RFC3339) {
+		t.Fatalf("ts = %q", d.TS)
+	}
+	if len(d.Fc) != 1 || d.Fc[0].T != ts.Add(5*time.Minute).Unix() {
+		t.Fatalf("forecast: %+v", d.Fc)
+	}
+}
+
+func TestWorldViewLimitAndBBox(t *testing.T) {
+	v := manual(t, Config{DefaultLimit: 4})
+	ts := time.Date(2023, 9, 18, 9, 0, 0, 0, time.UTC)
+	for i := 0; i < 10; i++ {
+		// Half the fleet in the Aegean, half far away.
+		lat, lon := 37.5, 24.5
+		if i%2 == 1 {
+			lat, lon = 52.0, 4.0
+		}
+		v.ApplyState(state(ais.MMSI(237000001+i), lat, lon, 10, ts.Add(time.Duration(i)*time.Second)))
+	}
+	v.Refresh()
+	snap := v.Vessels()
+
+	if got := decodeVessels(t, snap, 3, nil); len(got) != 3 {
+		t.Fatalf("limit 3 returned %d", len(got))
+	}
+	// The default-limit fast path must agree with the general path.
+	var fast bytes.Buffer
+	if _, err := snap.WriteJSON(&fast, 4, nil); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(fast.Bytes(), snap.body) {
+		t.Fatal("default-limit request did not take the pre-built body")
+	}
+	box := geo.AegeanSea
+	docs := decodeVessels(t, snap, 0, &box)
+	if len(docs) != 5 {
+		t.Fatalf("bbox returned %d vessels, want 5", len(docs))
+	}
+	for _, d := range docs {
+		if !box.Contains(geo.Point{Lat: d.Lat, Lon: d.Lon}) {
+			t.Fatalf("vessel outside box: %+v", d)
+		}
+	}
+	if got := decodeVessels(t, snap, 2, &box); len(got) != 2 {
+		t.Fatalf("bbox+limit returned %d", len(got))
+	}
+}
+
+func TestApplyStateOutOfOrderDropped(t *testing.T) {
+	v := manual(t, Config{})
+	ts := time.Date(2023, 9, 18, 9, 0, 0, 0, time.UTC)
+	v.ApplyState(state(237000001, 37.5, 24.5, 10, ts.Add(time.Minute)))
+	v.ApplyState(state(237000001, 99, 99, 10, ts)) // stale delta
+	v.Refresh()
+	docs := decodeVessels(t, v.Vessels(), 0, nil)
+	if len(docs) != 1 || docs[0].Lat != 37.5 {
+		t.Fatalf("stale delta won: %+v", docs)
+	}
+}
+
+func TestExpireAfterDropsSilentVessels(t *testing.T) {
+	v := manual(t, Config{ExpireAfter: time.Hour})
+	ts := time.Date(2023, 9, 18, 9, 0, 0, 0, time.UTC)
+	v.ApplyState(state(237000001, 37.5, 24.5, 10, ts))
+	v.ApplyState(state(237000002, 37.6, 24.6, 10, ts.Add(2*time.Hour)))
+	v.Refresh()
+	docs := decodeVessels(t, v.Vessels(), 0, nil)
+	if len(docs) != 1 || docs[0].MMSI != "237000002" {
+		t.Fatalf("expiry: %+v", docs)
+	}
+	// The expired vessel resurrects only with a fresh report.
+	v.ApplyState(state(237000001, 37.5, 24.5, 10, ts.Add(3*time.Hour)))
+	v.Refresh()
+	if docs := decodeVessels(t, v.Vessels(), 0, nil); len(docs) != 2 {
+		t.Fatalf("after fresh report: %+v", docs)
+	}
+}
+
+func TestRegionView(t *testing.T) {
+	v := manual(t, Config{RegionResolution: 7})
+	ts := time.Date(2023, 9, 18, 9, 0, 0, 0, time.UTC)
+	// Three vessels in one cell (two underway), one far away.
+	v.ApplyState(state(237000001, 37.5, 24.5, 10, ts))
+	v.ApplyState(state(237000002, 37.5001, 24.5001, 14, ts))
+	v.ApplyState(state(237000003, 37.5002, 24.5002, 0.1, ts))
+	v.ApplyState(state(237000004, 52.0, 4.0, 8, ts))
+	v.Refresh()
+	snap := v.Regions()
+	var buf bytes.Buffer
+	if err := snap.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var cells []struct {
+		Cell     string  `json:"cell"`
+		Count    int     `json:"count"`
+		Underway int     `json:"underway"`
+		MeanSOG  float64 `json:"mean_sog"`
+		MaxSOG   float64 `json:"max_sog"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &cells); err != nil {
+		t.Fatalf("region body: %v\n%s", err, buf.String())
+	}
+	if len(cells) != 2 || snap.Cells != 2 {
+		t.Fatalf("cells = %d (%d), want 2", len(cells), snap.Cells)
+	}
+	// Busiest first.
+	if cells[0].Count != 3 || cells[0].Underway != 2 || cells[0].MaxSOG != 14 {
+		t.Fatalf("busiest cell: %+v", cells[0])
+	}
+}
+
+func TestEventView(t *testing.T) {
+	v := manual(t, Config{EventWindow: 4})
+	ts := time.Date(2023, 9, 18, 9, 0, 0, 0, time.UTC)
+	for i := 0; i < 6; i++ {
+		v.ApplyEvent(events.Event{
+			Kind: events.KindProximity,
+			A:    ais.MMSI(237000001 + i), B: 237000099,
+			At:  ts.Add(time.Duration(i) * time.Minute),
+			Pos: geo.Point{Lat: 37.5, Lon: 24.5}, Meters: 300,
+		})
+	}
+	v.Refresh()
+	snap := v.Events()
+	var buf bytes.Buffer
+	n, err := snap.WriteJSON(&buf, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var docs []struct {
+		Kind   string  `json:"kind"`
+		A      string  `json:"a"`
+		B      string  `json:"b"`
+		At     string  `json:"at"`
+		Meters float64 `json:"meters"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &docs); err != nil {
+		t.Fatalf("events body: %v\n%s", err, buf.String())
+	}
+	// Window of 4 keeps the newest 4, oldest first.
+	if n != 4 || len(docs) != 4 || docs[0].A != "237000003" || docs[3].A != "237000006" {
+		t.Fatalf("window: n=%d docs=%+v", n, docs)
+	}
+	if docs[0].Meters != 300 || docs[0].B != "237000099" || docs[0].Kind != "proximity" {
+		t.Fatalf("doc: %+v", docs[0])
+	}
+	// Limited read returns the newest `limit`, oldest of those first.
+	buf.Reset()
+	if n, _ := snap.WriteJSON(&buf, 2); n != 2 {
+		t.Fatalf("limit 2 wrote %d", n)
+	}
+	docs = docs[:0]
+	if err := json.Unmarshal(buf.Bytes(), &docs); err != nil {
+		t.Fatal(err)
+	}
+	if len(docs) != 2 || docs[0].A != "237000005" || docs[1].A != "237000006" {
+		t.Fatalf("limited: %+v", docs)
+	}
+}
+
+func TestCongestionView(t *testing.T) {
+	v := manual(t, Config{})
+	v.SetCongestionSource(func() []congestion.Status {
+		return []congestion.Status{{
+			Port:    congestion.Port{Name: "Piraeus", Pos: geo.Point{Lat: 37.94, Lon: 23.63}, Capacity: 10},
+			Present: 8, Arriving: 5, PeakPredicted: 13,
+		}}
+	})
+	v.Refresh()
+	var buf bytes.Buffer
+	if err := v.Congestion().WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var docs []struct {
+		Port      string `json:"port"`
+		Capacity  int    `json:"capacity"`
+		Present   int    `json:"present"`
+		Arriving  int    `json:"arriving"`
+		Peak      int    `json:"peak_predicted"`
+		Congested bool   `json:"congested"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &docs); err != nil {
+		t.Fatalf("congestion body: %v\n%s", err, buf.String())
+	}
+	if len(docs) != 1 || docs[0].Port != "Piraeus" || !docs[0].Congested || docs[0].Peak != 13 {
+		t.Fatalf("congestion docs: %+v", docs)
+	}
+}
+
+func TestStatsCounters(t *testing.T) {
+	v := manual(t, Config{})
+	ts := time.Date(2023, 9, 18, 9, 0, 0, 0, time.UTC)
+	v.ApplyState(state(237000001, 37.5, 24.5, 10, ts))
+	v.ApplyEvent(events.Event{Kind: events.KindProximity, A: 237000001, B: 237000002, At: ts})
+	v.Refresh()
+	v.Refresh()
+	s := v.Stats()
+	if s.Epoch != 2 || s.Refreshes != 2 {
+		t.Fatalf("epoch/refreshes: %+v", s)
+	}
+	if s.StatesApplied != 1 || s.EventsApplied != 1 {
+		t.Fatalf("applies: %+v", s)
+	}
+	if s.Vessels != 1 || s.EventsWindow != 1 {
+		t.Fatalf("populations: %+v", s)
+	}
+	if s.SnapshotBytes <= 0 {
+		t.Fatalf("snapshot bytes: %d", s.SnapshotBytes)
+	}
+	if s.EpochAge < 0 || s.EpochAge > time.Minute {
+		t.Fatalf("epoch age: %v", s.EpochAge)
+	}
+}
+
+func TestBackgroundRefresher(t *testing.T) {
+	v := New(Config{RefreshInterval: 2 * time.Millisecond})
+	defer v.Close()
+	v.ApplyState(state(237000001, 37.5, 24.5, 10, time.Now()))
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if v.Vessels().Len() == 1 {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatal("background refresher never materialized the applied state")
+}
