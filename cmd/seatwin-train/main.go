@@ -4,9 +4,14 @@
 // the Table 1 comparison against the linear kinematic baseline and
 // saves the trained weights.
 //
+// With -bench it instead runs the training-throughput benchmark
+// (reference interpreted trainer vs the compiled fused-gate BPTT path)
+// and writes the JSON artifact.
+//
 // Usage:
 //
 //	seatwin-train [-scale small|full] [-seed 42] [-out s-vrf.gob]
+//	seatwin-train -bench [-bench-out BENCH_PR8.json]
 package main
 
 import (
@@ -23,8 +28,22 @@ func main() {
 		scaleFlag = flag.String("scale", "small", "small (fast) | full (EXPERIMENTS.md scale)")
 		seed      = flag.Int64("seed", 42, "dataset seed")
 		out       = flag.String("out", "s-vrf.gob", "output model file")
+		bench     = flag.Bool("bench", false, "run the training-throughput benchmark instead of training")
+		benchOut  = flag.String("bench-out", "BENCH_PR8.json", "benchmark JSON output file (-bench only)")
+		benchNote = flag.String("bench-note", "", "free-form note recorded in the benchmark artifact")
 	)
 	flag.Parse()
+
+	if *bench {
+		r := experiments.RunTrainBench(experiments.DefaultTrainBenchConfig())
+		r.Note = *benchNote
+		fmt.Print(r.Format())
+		if err := r.WriteFile(*benchOut); err != nil {
+			log.Fatalf("write benchmark: %v", err)
+		}
+		log.Printf("benchmark written to %s", *benchOut)
+		return
+	}
 
 	scale := experiments.Small
 	if *scaleFlag == "full" {

@@ -1,0 +1,200 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"math/rand"
+	"os"
+	"strings"
+	"time"
+
+	"seatwin/internal/nn"
+)
+
+// This file is the training-throughput harness behind
+// `seatwin-train -bench` and the checked-in BENCH_PR8.json: it times
+// the reference interpreted trainer against the compiled fused-gate
+// BPTT path (internal/nn TrainCompiled) on the S-VRF network shape,
+// at one and several workers, from identical seeded weights and data.
+
+// TrainBenchConfig sizes the benchmark. The defaults mirror the S-VRF
+// production shape (20-step windows, hidden 32, six 2-coordinate
+// horizons, bidirectional).
+type TrainBenchConfig struct {
+	Samples       int  `json:"samples"`
+	Steps         int  `json:"steps"`
+	Hidden        int  `json:"hidden"`
+	OutputDim     int  `json:"output_dim"`
+	Bidirectional bool `json:"bidirectional"`
+	// Batches is the number of timed TrainBatch steps per run (after
+	// two untimed warm-up steps that populate scratch arenas).
+	Batches int   `json:"batches"`
+	Workers []int `json:"workers"`
+	Seed    int64 `json:"seed"`
+}
+
+// DefaultTrainBenchConfig matches the S-VRF training geometry.
+func DefaultTrainBenchConfig() TrainBenchConfig {
+	return TrainBenchConfig{
+		Samples:       64,
+		Steps:         20,
+		Hidden:        32,
+		OutputDim:     12,
+		Bidirectional: true,
+		Batches:       30,
+		Workers:       []int{1, 2},
+		Seed:          1,
+	}
+}
+
+// TrainBenchRun is one (path, workers) measurement.
+type TrainBenchRun struct {
+	Path          string  `json:"path"` // "reference" | "compiled"
+	Workers       int     `json:"workers"`
+	NsPerSample   int64   `json:"ns_per_sample"`
+	SamplesPerSec float64 `json:"samples_per_sec"`
+	// Loss is the mean batch loss over the timed steps — the reference
+	// and compiled rows must agree closely (the parity tests pin the
+	// gradient agreement to 1e-8; here it is a coarse cross-check).
+	Loss float64 `json:"loss"`
+}
+
+// TrainBenchResult is the full benchmark artifact.
+type TrainBenchResult struct {
+	GeneratedUnix int64            `json:"generated_unix"`
+	Config        TrainBenchConfig `json:"config"`
+	Runs          []TrainBenchRun  `json:"runs"`
+	// SpeedupCompiled is single-worker reference ns/sample over
+	// single-worker compiled ns/sample.
+	SpeedupCompiled float64 `json:"speedup_compiled_1w"`
+	// MaxLossDelta is the largest |reference-compiled| loss gap across
+	// matching worker counts.
+	MaxLossDelta float64 `json:"max_loss_delta"`
+	Note         string  `json:"note,omitempty"`
+}
+
+// trainBenchSamples builds a deterministic synthetic dataset with the
+// benchmark geometry: smooth per-feature sinusoids with phase noise,
+// targets correlated with the sequence tail so training has signal.
+func trainBenchSamples(cfg TrainBenchConfig) []nn.Sample {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	samples := make([]nn.Sample, cfg.Samples)
+	const inputDim = 3
+	for s := range samples {
+		seq := make([][]float64, cfg.Steps)
+		phase := rng.Float64() * 2 * math.Pi
+		for t := range seq {
+			row := make([]float64, inputDim)
+			for d := range row {
+				row[d] = math.Sin(phase+float64(t)*0.3+float64(d)) + 0.05*rng.NormFloat64()
+			}
+			seq[t] = row
+		}
+		tgt := make([]float64, cfg.OutputDim)
+		tail := seq[len(seq)-1]
+		for o := range tgt {
+			tgt[o] = 0.5*tail[o%inputDim] + 0.01*float64(o)
+		}
+		samples[s] = nn.Sample{Seq: seq, Target: tgt}
+	}
+	return samples
+}
+
+// RunTrainBench measures both trainers at every configured worker
+// count and returns the artifact.
+func RunTrainBench(cfg TrainBenchConfig) TrainBenchResult {
+	samples := trainBenchSamples(cfg)
+	newNet := func() *nn.SeqRegressor {
+		net, err := nn.NewSeqRegressor(nn.Config{
+			InputDim:      3,
+			Hidden:        cfg.Hidden,
+			OutputDim:     cfg.OutputDim,
+			Bidirectional: cfg.Bidirectional,
+			Seed:          cfg.Seed,
+		})
+		if err != nil {
+			panic(err) // static geometry, cannot fail
+		}
+		return net
+	}
+	res := TrainBenchResult{
+		GeneratedUnix: time.Now().Unix(),
+		Config:        cfg,
+	}
+	lossByWorkers := map[int][2]float64{} // workers -> [reference, compiled]
+	var refNs, compNs int64
+	for _, workers := range cfg.Workers {
+		for pathIdx, path := range []string{"reference", "compiled"} {
+			net := newNet()
+			step := func(lr float64) float64 { return net.TrainBatch(samples, lr, workers) }
+			if path == "compiled" {
+				tc := net.CompileTrain()
+				step = func(lr float64) float64 { return tc.TrainBatch(samples, lr, workers) }
+			}
+			step(1e-3)
+			step(1e-3)
+			var lossSum float64
+			start := time.Now()
+			for i := 0; i < cfg.Batches; i++ {
+				lossSum += step(1e-3)
+			}
+			elapsed := time.Since(start)
+			nsPerSample := elapsed.Nanoseconds() / int64(cfg.Batches*len(samples))
+			run := TrainBenchRun{
+				Path:          path,
+				Workers:       workers,
+				NsPerSample:   nsPerSample,
+				SamplesPerSec: float64(cfg.Batches*len(samples)) / elapsed.Seconds(),
+				Loss:          lossSum / float64(cfg.Batches),
+			}
+			res.Runs = append(res.Runs, run)
+			pair := lossByWorkers[workers]
+			pair[pathIdx] = run.Loss
+			lossByWorkers[workers] = pair
+			if workers == 1 {
+				if path == "reference" {
+					refNs = nsPerSample
+				} else {
+					compNs = nsPerSample
+				}
+			}
+		}
+	}
+	if compNs > 0 {
+		res.SpeedupCompiled = float64(refNs) / float64(compNs)
+	}
+	for _, pair := range lossByWorkers {
+		if d := math.Abs(pair[0] - pair[1]); d > res.MaxLossDelta {
+			res.MaxLossDelta = d
+		}
+	}
+	return res
+}
+
+// Format renders the benchmark as a table.
+func (r TrainBenchResult) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Training throughput (%d samples x %d steps, hidden %d, out %d, bidir %v)\n",
+		r.Config.Samples, r.Config.Steps, r.Config.Hidden, r.Config.OutputDim, r.Config.Bidirectional)
+	fmt.Fprintf(&b, "%-10s %8s %14s %16s %12s\n", "path", "workers", "ns/sample", "samples/sec", "loss")
+	for _, run := range r.Runs {
+		fmt.Fprintf(&b, "%-10s %8d %14d %16.0f %12.6f\n",
+			run.Path, run.Workers, run.NsPerSample, run.SamplesPerSec, run.Loss)
+	}
+	fmt.Fprintf(&b, "compiled speedup (1 worker): %.2fx   max loss delta: %.2e\n",
+		r.SpeedupCompiled, r.MaxLossDelta)
+	if r.Note != "" {
+		fmt.Fprintf(&b, "note: %s\n", r.Note)
+	}
+	return b.String()
+}
+
+// WriteFile marshals the artifact to path as indented JSON.
+func (r TrainBenchResult) WriteFile(path string) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

@@ -1,0 +1,49 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestRunTrainBenchSmoke runs a miniature benchmark end to end: both
+// paths at one worker, checking the artifact is coherent and the two
+// trainers agree on the loss they report.
+func TestRunTrainBenchSmoke(t *testing.T) {
+	cfg := TrainBenchConfig{
+		Samples:       8,
+		Steps:         10,
+		Hidden:        8,
+		OutputDim:     4,
+		Bidirectional: true,
+		Batches:       2,
+		Workers:       []int{1},
+		Seed:          3,
+	}
+	r := RunTrainBench(cfg)
+	if len(r.Runs) != 2 {
+		t.Fatalf("expected reference+compiled runs, got %d", len(r.Runs))
+	}
+	for _, run := range r.Runs {
+		if run.NsPerSample <= 0 || run.SamplesPerSec <= 0 {
+			t.Fatalf("%s/%dw: non-positive throughput: %+v", run.Path, run.Workers, run)
+		}
+		if run.Loss <= 0 {
+			t.Fatalf("%s/%dw: loss %g not positive", run.Path, run.Workers, run.Loss)
+		}
+	}
+	if r.SpeedupCompiled <= 0 {
+		t.Fatalf("speedup %g not positive", r.SpeedupCompiled)
+	}
+	// The paths agree to 1e-8 per gradient element (internal/nn parity
+	// tests); the mean batch loss must agree far tighter than any real
+	// training signal.
+	if r.MaxLossDelta > 1e-9 {
+		t.Fatalf("reference/compiled loss delta %g too large", r.MaxLossDelta)
+	}
+	out := r.Format()
+	for _, want := range []string{"reference", "compiled", "speedup"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("Format() missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -12,9 +12,11 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync"
 	"time"
 
 	"seatwin/internal/geo"
+	"seatwin/internal/metrics"
 )
 
 // Features are the vessel-specific attributes the junction classifiers
@@ -64,6 +66,15 @@ type Config struct {
 	// MinTrips is the minimum number of historical trips an OD pair
 	// needs before a dedicated lane model is built.
 	MinTrips int
+	// Workers bounds how many OD-pair lane graphs are built
+	// concurrently by Train. Zero or one builds sequentially; the
+	// result is identical for any value (lane construction is
+	// per-pair-deterministic and the merge is ordered).
+	Workers int
+	// OnLane, when non-nil, is invoked once per built lane (from the
+	// merging goroutine, in deterministic pair order) — the training
+	// observability hook.
+	OnLane func(origin, dest string, trips int)
 }
 
 // DefaultConfig mirrors the granularity EnvClus* operates at.
@@ -130,9 +141,15 @@ type Model struct {
 
 // Train builds the model from historical trips. Ports maps port names
 // to coordinates and is used for fallback forecasting of unseen pairs.
+// Lane graphs of distinct OD pairs share nothing, so cfg.Workers of
+// them are built concurrently; pairs are processed in sorted order and
+// merged into the model on the calling goroutine, so the result (and
+// the OnLane callback order) is identical for every worker count.
 func Train(trips []Trip, ports map[string]geo.Point, cfg Config) *Model {
 	if cfg.Levels <= 1 {
+		workers, onLane := cfg.Workers, cfg.OnLane
 		cfg = DefaultConfig()
+		cfg.Workers, cfg.OnLane = workers, onLane
 	}
 	m := &Model{cfg: cfg, lanes: make(map[odKey]*laneGraph), ports: ports}
 	grouped := make(map[odKey][]Trip)
@@ -143,11 +160,52 @@ func Train(trips []Trip, ports map[string]geo.Point, cfg Config) *Model {
 		k := odKey{t.Origin, t.Dest}
 		grouped[k] = append(grouped[k], t)
 	}
+	keys := make([]odKey, 0, len(grouped))
 	for k, group := range grouped {
-		if len(group) < cfg.MinTrips {
-			continue
+		if len(group) >= cfg.MinTrips {
+			keys = append(keys, k)
 		}
-		m.lanes[k] = buildLane(group, cfg)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].origin != keys[j].origin {
+			return keys[i].origin < keys[j].origin
+		}
+		return keys[i].dest < keys[j].dest
+	})
+
+	workers := cfg.Workers
+	if workers > len(keys) {
+		workers = len(keys)
+	}
+	lanes := make([]*laneGraph, len(keys))
+	if workers > 1 {
+		var wg sync.WaitGroup
+		next := make(chan int)
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range next {
+					lanes[i] = buildLane(grouped[keys[i]], cfg)
+				}
+			}()
+		}
+		for i := range keys {
+			next <- i
+		}
+		close(next)
+		wg.Wait()
+	} else {
+		for i, k := range keys {
+			lanes[i] = buildLane(grouped[k], cfg)
+		}
+	}
+	for i, k := range keys {
+		m.lanes[k] = lanes[i]
+		metrics.Training.Lane(uint64(i))
+		if cfg.OnLane != nil {
+			cfg.OnLane(k.origin, k.dest, lanes[i].trips)
+		}
 	}
 	return m
 }

@@ -1,0 +1,87 @@
+package lvrf
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// parallelTrips builds a fleet with several distinct OD pairs so the
+// worker pool actually has concurrent lanes in flight.
+func parallelTrips() []Trip {
+	rng := rand.New(rand.NewSource(9))
+	var trips []Trip
+	for i := 0; i < 16; i++ {
+		trips = append(trips, laneTrip(uint32(100+i), cargoF(), "A", "B", 12000, rng))
+		trips = append(trips, laneTrip(uint32(200+i), ferryF(), "A", "B", -12000, rng))
+		trips = append(trips, laneTrip(uint32(300+i), cargoF(), "A", "C", 5000, rng))
+		trips = append(trips, laneTrip(uint32(400+i), ferryF(), "B", "C", -4000, rng))
+		trips = append(trips, laneTrip(uint32(500+i), cargoF(), "C", "A", 7000, rng))
+	}
+	return trips
+}
+
+// TestTrainParallelMatchesSequential: training with a worker pool must
+// produce a model identical to sequential training — same lanes, same
+// graphs, same Patterns of Life — for every worker count. Run with
+// -race in CI to catch sharing between concurrent lane builds.
+func TestTrainParallelMatchesSequential(t *testing.T) {
+	trips := parallelTrips()
+	want := Train(trips, ports, DefaultConfig())
+	for _, workers := range []int{2, 4, 16} {
+		cfg := DefaultConfig()
+		cfg.Workers = workers
+		got := Train(trips, ports, cfg)
+		if !reflect.DeepEqual(want.Pairs(), got.Pairs()) {
+			t.Fatalf("workers=%d: pairs %v != %v", workers, got.Pairs(), want.Pairs())
+		}
+		for _, pair := range want.Pairs() {
+			wp, err1 := want.PatternsOfLife(pair[0], pair[1])
+			gp, err2 := got.PatternsOfLife(pair[0], pair[1])
+			if err1 != nil || err2 != nil {
+				t.Fatalf("workers=%d pair %v: %v / %v", workers, pair, err1, err2)
+			}
+			if !reflect.DeepEqual(wp, gp) {
+				t.Fatalf("workers=%d pair %v: POL diverged\nseq: %+v\npar: %+v", workers, pair, wp, gp)
+			}
+			wl := want.lanes[odKey{pair[0], pair[1]}]
+			gl := got.lanes[odKey{pair[0], pair[1]}]
+			if !reflect.DeepEqual(wl.levels, gl.levels) || !reflect.DeepEqual(wl.edges, gl.edges) {
+				t.Fatalf("workers=%d pair %v: lane graph diverged", workers, pair)
+			}
+			wr, _ := want.ForecastRoute(pair[0], pair[1], cargoF())
+			gr, _ := got.ForecastRoute(pair[0], pair[1], cargoF())
+			if !reflect.DeepEqual(wr, gr) {
+				t.Fatalf("workers=%d pair %v: forecast diverged", workers, pair)
+			}
+		}
+	}
+}
+
+// TestTrainOnLaneDeterministicOrder: the observability callback fires
+// once per lane, in sorted pair order, regardless of worker count.
+func TestTrainOnLaneDeterministicOrder(t *testing.T) {
+	trips := parallelTrips()
+	order := func(workers int) [][2]string {
+		var got [][2]string
+		cfg := DefaultConfig()
+		cfg.Workers = workers
+		cfg.OnLane = func(origin, dest string, trips int) {
+			if trips <= 0 {
+				t.Fatalf("OnLane(%s,%s) reported %d trips", origin, dest, trips)
+			}
+			got = append(got, [2]string{origin, dest})
+		}
+		Train(trips, ports, cfg)
+		return got
+	}
+	seq := order(1)
+	if len(seq) != 4 {
+		t.Fatalf("expected 4 lanes, OnLane saw %v", seq)
+	}
+	for _, workers := range []int{3, 8} {
+		if par := order(workers); !reflect.DeepEqual(seq, par) {
+			t.Fatalf("workers=%d: OnLane order %v != %v", workers, par, seq)
+		}
+	}
+}

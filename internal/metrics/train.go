@@ -1,0 +1,118 @@
+package metrics
+
+import (
+	"math"
+	"sync/atomic"
+	"time"
+)
+
+// This file holds the training-side observability counters. Training
+// runs out-of-band from the message hot path (seatwin-train, the
+// experiments harness, or an operator-triggered retrain inside a
+// serving process), but it shares the process with the pipeline often
+// enough that the serving endpoints should see it: a retrain that
+// stalls or a loss that diverges is an operational event. The batch
+// hook fires once per optimisation step from potentially many training
+// goroutines, so the counters reuse the sharded primitives above.
+
+// TrainStats is a merged snapshot of the training counters.
+type TrainStats struct {
+	// Runs counts completed Train calls (S-VRF fits).
+	Runs int64
+	// Epochs, Batches and Samples count optimisation progress across
+	// all runs: epochs finished, optimiser steps taken, and training
+	// samples consumed (samples counts each visit, so one window seen
+	// in five epochs contributes five).
+	Epochs  int64
+	Batches int64
+	Samples int64
+	// ClipEvents counts batches whose gradient hit the clip bound — a
+	// rising rate flags exploding gradients long before the loss does.
+	ClipEvents int64
+	// Lanes counts L-VRF lane graphs built across all route trainings.
+	Lanes int64
+	// TrainSeconds is the accumulated wall time spent inside epochs.
+	TrainSeconds float64
+	// LastLoss is the most recent per-epoch mean training loss.
+	LastLoss float64
+	// SamplesPerSec is the lifetime mean training throughput
+	// (Samples / TrainSeconds), zero before the first epoch completes.
+	SamplesPerSec float64
+}
+
+// TrainRecorder accumulates training observations on sharded counters.
+// The zero value is not usable; call NewTrainRecorder.
+type TrainRecorder struct {
+	runs    *ShardedCounter
+	epochs  *ShardedCounter
+	batches *ShardedCounter
+	samples *ShardedCounter
+	clips   *ShardedCounter
+	lanes   *ShardedCounter
+	nanos   *ShardedCounter
+	// lastLoss holds math.Float64bits of the latest epoch loss; a plain
+	// atomic word because "latest wins" is the semantics we want.
+	lastLoss atomic.Uint64
+}
+
+// NewTrainRecorder creates an empty recorder.
+func NewTrainRecorder() *TrainRecorder {
+	return &TrainRecorder{
+		runs:    NewShardedCounter(0),
+		epochs:  NewShardedCounter(0),
+		batches: NewShardedCounter(0),
+		samples: NewShardedCounter(0),
+		clips:   NewShardedCounter(0),
+		lanes:   NewShardedCounter(0),
+		nanos:   NewShardedCounter(0),
+	}
+}
+
+// Batch records one optimisation step: the number of samples in the
+// batch and whether the gradient hit the clip bound. hint routes the
+// increment to a shard (a running batch index works well).
+func (t *TrainRecorder) Batch(hint uint64, samples int, clipped bool) {
+	t.batches.Inc(hint, 1)
+	t.samples.Inc(hint, int64(samples))
+	if clipped {
+		t.clips.Inc(hint, 1)
+	}
+}
+
+// Epoch records one finished epoch: its mean training loss and wall
+// duration.
+func (t *TrainRecorder) Epoch(loss float64, d time.Duration) {
+	t.epochs.Inc(0, 1)
+	t.nanos.Inc(0, int64(d))
+	t.lastLoss.Store(math.Float64bits(loss))
+}
+
+// Run records one completed training run.
+func (t *TrainRecorder) Run() { t.runs.Inc(0, 1) }
+
+// Lane records one L-VRF lane graph built; hint routes the increment
+// (the lane's merge index works well).
+func (t *TrainRecorder) Lane(hint uint64) { t.lanes.Inc(hint, 1) }
+
+// Snapshot merges every counter into one TrainStats.
+func (t *TrainRecorder) Snapshot() TrainStats {
+	s := TrainStats{
+		Runs:         t.runs.Value(),
+		Epochs:       t.epochs.Value(),
+		Batches:      t.batches.Value(),
+		Samples:      t.samples.Value(),
+		ClipEvents:   t.clips.Value(),
+		Lanes:        t.lanes.Value(),
+		TrainSeconds: time.Duration(t.nanos.Value()).Seconds(),
+		LastLoss:     math.Float64frombits(t.lastLoss.Load()),
+	}
+	if s.TrainSeconds > 0 {
+		s.SamplesPerSec = float64(s.Samples) / s.TrainSeconds
+	}
+	return s
+}
+
+// Training is the process-wide recorder: svrf.Train and lvrf.Train
+// record into it, and the pipeline's /metrics and /api/stats endpoints
+// snapshot it. A process that never trains reports zeros.
+var Training = NewTrainRecorder()

@@ -1,0 +1,65 @@
+package metrics
+
+import (
+	"math"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestTrainRecorderSnapshot(t *testing.T) {
+	r := NewTrainRecorder()
+	if s := r.Snapshot(); s != (TrainStats{}) {
+		t.Fatalf("fresh recorder not zero: %+v", s)
+	}
+	r.Batch(1, 64, false)
+	r.Batch(2, 64, true)
+	r.Batch(3, 32, true)
+	r.Epoch(0.25, 2*time.Second)
+	r.Epoch(0.125, 2*time.Second)
+	r.Run()
+	r.Lane(0)
+	r.Lane(1)
+	s := r.Snapshot()
+	if s.Runs != 1 || s.Epochs != 2 || s.Batches != 3 || s.Samples != 160 {
+		t.Fatalf("counts wrong: %+v", s)
+	}
+	if s.ClipEvents != 2 || s.Lanes != 2 {
+		t.Fatalf("clip/lane counts wrong: %+v", s)
+	}
+	if s.LastLoss != 0.125 {
+		t.Fatalf("last loss = %g, want latest epoch's 0.125", s.LastLoss)
+	}
+	if math.Abs(s.TrainSeconds-4) > 1e-9 {
+		t.Fatalf("train seconds = %g, want 4", s.TrainSeconds)
+	}
+	if math.Abs(s.SamplesPerSec-40) > 1e-9 {
+		t.Fatalf("samples/sec = %g, want 160/4", s.SamplesPerSec)
+	}
+}
+
+// TestTrainRecorderConcurrent hammers the recorder from many
+// goroutines; run with -race to verify the hot hooks share nothing.
+func TestTrainRecorderConcurrent(t *testing.T) {
+	r := NewTrainRecorder()
+	const workers, per = 8, 500
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				r.Batch(uint64(w*per+i), 10, i%5 == 0)
+				r.Lane(uint64(i))
+			}
+		}(w)
+	}
+	wg.Wait()
+	s := r.Snapshot()
+	if s.Batches != workers*per || s.Samples != workers*per*10 {
+		t.Fatalf("lost increments: %+v", s)
+	}
+	if s.ClipEvents != workers*per/5 || s.Lanes != workers*per {
+		t.Fatalf("clip/lane counts wrong: %+v", s)
+	}
+}

@@ -98,34 +98,7 @@ func (f *fusedCell) run(seq [][]float64, reverse bool, h, c, hN, cN, z []float64
 		}
 		x = x[:in]
 		if f.vec {
-			// Vector path: seed z with bias + input contributions in Go
-			// (the input dim is tiny — 3 in the S-VRF shape), then let the
-			// AVX2/FMA kernel stream the hidden-state block, which is
-			// where ~90% of the multiply-accumulates live.
-			for u := 0; u < hidden; u++ {
-				base := u * 4 * f.width
-				ri := f.w[base : base+f.width]
-				rf := ri[f.width : 2*f.width]
-				rg := ri[2*f.width : 3*f.width]
-				ro := ri[3*f.width : 4*f.width]
-				zi := f.b[4*u]
-				zf := f.b[4*u+1]
-				zg := f.b[4*u+2]
-				zo := f.b[4*u+3]
-				rix, rfx, rgx, rox := ri[:in], rf[:in], rg[:in], ro[:in]
-				for k := 0; k < in; k++ {
-					xv := x[k]
-					zi = madd(rix[k], xv, zi)
-					zf = madd(rfx[k], xv, zf)
-					zg = madd(rgx[k], xv, zg)
-					zo = madd(rox[k], xv, zo)
-				}
-				z[4*u] = zi
-				z[4*u+1] = zf
-				z[4*u+2] = zg
-				z[4*u+3] = zo
-			}
-			gemvHiddenAVX2(&f.w[0], &h[0], &z[0], hidden, f.width, in)
+			f.stepVec(x, h, z)
 		} else {
 			f.stepScalar(x, h, z)
 		}
@@ -147,6 +120,40 @@ func (f *fusedCell) run(seq [][]float64, reverse bool, h, c, hN, cN, z []float64
 		c, cN = cN, c
 	}
 	return h
+}
+
+// stepVec is the vector GEMV pass of one step: it seeds z with bias +
+// input contributions in Go (the input dim is tiny — 3 in the S-VRF
+// shape), then lets the AVX2/FMA kernel stream the hidden-state block,
+// which is where ~90% of the multiply-accumulates live. Only called
+// when f.vec is set. Shared by the inference run loop and the compiled
+// training forward.
+func (f *fusedCell) stepVec(x, h, z []float64) {
+	in, hidden := f.in, f.hidden
+	for u := 0; u < hidden; u++ {
+		base := u * 4 * f.width
+		ri := f.w[base : base+f.width]
+		rf := ri[f.width : 2*f.width]
+		rg := ri[2*f.width : 3*f.width]
+		ro := ri[3*f.width : 4*f.width]
+		zi := f.b[4*u]
+		zf := f.b[4*u+1]
+		zg := f.b[4*u+2]
+		zo := f.b[4*u+3]
+		rix, rfx, rgx, rox := ri[:in], rf[:in], rg[:in], ro[:in]
+		for k := 0; k < in; k++ {
+			xv := x[k]
+			zi = madd(rix[k], xv, zi)
+			zf = madd(rfx[k], xv, zf)
+			zg = madd(rgx[k], xv, zg)
+			zo = madd(rox[k], xv, zo)
+		}
+		z[4*u] = zi
+		z[4*u+1] = zf
+		z[4*u+2] = zg
+		z[4*u+3] = zo
+	}
+	gemvHiddenAVX2(&f.w[0], &h[0], &z[0], hidden, f.width, in)
 }
 
 // stepScalar is the portable GEMV pass of one step: for each unit it

@@ -9,3 +9,11 @@ const hasAVX2FMA = false
 func gemvHiddenAVX2(w, h, z *float64, hidden, width, in int) {
 	panic("nn: vector kernel called on a platform without it")
 }
+
+func dotRows4AVX2(w, x, y *float64, groups, cols, stride int) {
+	panic("nn: vector kernel called on a platform without it")
+}
+
+func deferredRank1AVX2(gw, x, a *float64, rows, cols, steps, gwStride, xStride, aStride int) {
+	panic("nn: vector kernel called on a platform without it")
+}

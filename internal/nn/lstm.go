@@ -49,24 +49,61 @@ type lstmStep struct {
 	c, h       []float64
 }
 
-// forward runs the cell over a sequence and returns the per-step cache.
-// The caller reads the final hidden state from the last step.
-func (c *lstmCell) forward(seq [][]float64) []lstmStep {
-	steps := make([]lstmStep, len(seq))
-	h := make([]float64, c.Hidden)
-	cc := make([]float64, c.Hidden)
-	for t, x := range seq {
-		st := lstmStep{
-			x:     x,
-			hPrev: h,
-			cPrev: cc,
-			i:     make([]float64, c.Hidden),
-			f:     make([]float64, c.Hidden),
-			g:     make([]float64, c.Hidden),
-			o:     make([]float64, c.Hidden),
-			c:     make([]float64, c.Hidden),
-			h:     make([]float64, c.Hidden),
+// cellScratch is the reusable per-direction training arena: the
+// per-step activation caches of forward and the four BPTT state
+// buffers of backward. One scratch serves one goroutine; each model
+// (and each training replica) owns its own, so gradSample runs
+// allocation-free once the arena has grown to the longest sequence.
+type cellScratch struct {
+	steps  []lstmStep
+	h0, c0 []float64 // zero initial state; never written
+	dh, dc []float64
+	sp1    []float64 // dhPrev / dh swap partner
+	sp2    []float64 // dcPrev / dc swap partner
+}
+
+// ensure grows the arena to hold n steps of hidden-sized buffers.
+func (sc *cellScratch) ensure(n, hidden int) {
+	if sc.h0 == nil {
+		sc.h0 = make([]float64, hidden)
+		sc.c0 = make([]float64, hidden)
+		sc.dh = make([]float64, hidden)
+		sc.dc = make([]float64, hidden)
+		sc.sp1 = make([]float64, hidden)
+		sc.sp2 = make([]float64, hidden)
+	}
+	for len(sc.steps) < n {
+		sc.steps = append(sc.steps, lstmStep{
+			i: make([]float64, hidden),
+			f: make([]float64, hidden),
+			g: make([]float64, hidden),
+			o: make([]float64, hidden),
+			c: make([]float64, hidden),
+			h: make([]float64, hidden),
+		})
+	}
+}
+
+// forward runs the cell over the sequence (reversed when reverse is
+// set) into the scratch arena and returns the per-step cache. The
+// caller reads the final hidden state from the last step. Buffers are
+// reused across calls; the returned steps are valid until the next
+// forward on the same scratch.
+func (c *lstmCell) forward(seq [][]float64, reverse bool, sc *cellScratch) []lstmStep {
+	n := len(seq)
+	sc.ensure(n, c.Hidden)
+	steps := sc.steps[:n]
+	h := sc.h0
+	cc := sc.c0
+	for t := 0; t < n; t++ {
+		x := seq[t]
+		if reverse {
+			x = seq[n-1-t]
 		}
+		st := &steps[t]
+		st.x = x
+		st.hPrev = h
+		st.cPrev = cc
 		for u := 0; u < c.Hidden; u++ {
 			zi := c.Bi.W[u]
 			zf := c.Bf.W[u]
@@ -93,7 +130,6 @@ func (c *lstmCell) forward(seq [][]float64) []lstmStep {
 			st.c[u] = st.f[u]*cc[u] + st.i[u]*st.g[u]
 			st.h[u] = st.o[u] * math.Tanh(st.c[u])
 		}
-		steps[t] = st
 		h = st.h
 		cc = st.c
 	}
@@ -103,13 +139,25 @@ func (c *lstmCell) forward(seq [][]float64) []lstmStep {
 // backward propagates dLast (gradient w.r.t. the final hidden state)
 // through time, accumulating parameter gradients. It returns nothing:
 // input gradients are not needed because the LSTM is the first layer.
-func (c *lstmCell) backward(steps []lstmStep, dLast []float64) {
-	dh := append([]float64(nil), dLast...)
-	dc := make([]float64, c.Hidden)
+// The BPTT state lives in the scratch arena (zeroed per step exactly
+// as the allocating form did, so the arithmetic is unchanged).
+func (c *lstmCell) backward(steps []lstmStep, dLast []float64, sc *cellScratch) {
+	dh := sc.dh[:c.Hidden]
+	dc := sc.dc[:c.Hidden]
+	copy(dh, dLast)
+	for i := range dc {
+		dc[i] = 0
+	}
+	sp1 := sc.sp1[:c.Hidden]
+	sp2 := sc.sp2[:c.Hidden]
 	for t := len(steps) - 1; t >= 0; t-- {
-		st := steps[t]
-		dhPrev := make([]float64, c.Hidden)
-		dcPrev := make([]float64, c.Hidden)
+		st := &steps[t]
+		dhPrev := sp1
+		dcPrev := sp2
+		for i := range dhPrev {
+			dhPrev[i] = 0
+			dcPrev[i] = 0
+		}
 		for u := 0; u < c.Hidden; u++ {
 			tanhC := math.Tanh(st.c[u])
 			do := dh[u] * tanhC
@@ -148,7 +196,7 @@ func (c *lstmCell) backward(steps []lstmStep, dLast []float64) {
 				dhPrev[k] += zi*c.Wi.W[idx] + zf*c.Wf.W[idx] + zg*c.Wg.W[idx] + zo*c.Wo.W[idx]
 			}
 		}
-		dh = dhPrev
-		dc = dcPrev
+		sp1, dh = dh, dhPrev
+		sp2, dc = dc, dcPrev
 	}
 }

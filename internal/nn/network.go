@@ -31,6 +31,18 @@ func (c Config) Validate() error {
 	return nil
 }
 
+// trainScratch holds the model-level reusable training buffers of the
+// reference path: the per-direction cell arenas plus the head's
+// output/gradient vectors. One scratch serves one goroutine — the
+// model's own gradSample calls, or one worker replica's.
+type trainScratch struct {
+	fw, bw cellScratch
+	enc    []float64
+	dEnc   []float64
+	y      []float64
+	dy     []float64
+}
+
 // SeqRegressor maps a variable-length sequence of feature vectors to a
 // fixed-size output vector.
 type SeqRegressor struct {
@@ -42,6 +54,20 @@ type SeqRegressor struct {
 	t   int       // Adam timestep
 	// clipNorm is set per Fit call from FitOptions.ClipNorm.
 	clipNorm float64
+	// lastClipped records whether the most recent optimisation step hit
+	// the clip bound (training observability).
+	lastClipped bool
+	// mats caches the matrices() list: the parameter set is fixed at
+	// construction, and the hot training loop walks it several times per
+	// batch.
+	mats []*matrix
+	// ts is the model's own training scratch (single-worker gradSample).
+	ts trainScratch
+	// replicas are the persistent training workers: cloned once, then
+	// re-synced (weights copied, gradients zeroed) at each batch instead
+	// of re-cloned, so steady-state TrainBatch does not allocate.
+	replicas   []*SeqRegressor
+	workerLoss []float64
 }
 
 // NewSeqRegressor builds a model with seeded random initialisation.
@@ -60,13 +86,22 @@ func NewSeqRegressor(cfg Config) (*SeqRegressor, error) {
 	scale := 1.0 / float64(encDim)
 	m.out = newMatrix(cfg.OutputDim, encDim, scale, rng)
 	m.ob = newMatrix(cfg.OutputDim, 1, 0, rng)
+	m.mats = m.buildMatrices()
 	return m, nil
 }
 
 // Config returns the model configuration.
 func (m *SeqRegressor) Config() Config { return m.cfg }
 
-func (m *SeqRegressor) matrices() []*matrix {
+// encDim returns the encoder output width.
+func (m *SeqRegressor) encDim() int {
+	if m.bw != nil {
+		return 2 * m.cfg.Hidden
+	}
+	return m.cfg.Hidden
+}
+
+func (m *SeqRegressor) buildMatrices() []*matrix {
 	ms := append(m.fw.matrices(), m.out, m.ob)
 	if m.bw != nil {
 		ms = append(ms, m.bw.matrices()...)
@@ -74,32 +109,36 @@ func (m *SeqRegressor) matrices() []*matrix {
 	return ms
 }
 
-// encode runs the recurrent encoder and returns the caches plus the
-// concatenated final hidden state.
-func (m *SeqRegressor) encode(seq [][]float64) (fwSteps, bwSteps []lstmStep, enc []float64) {
-	fwSteps = m.fw.forward(seq)
-	enc = make([]float64, 0, 2*m.cfg.Hidden)
-	enc = append(enc, fwSteps[len(fwSteps)-1].h...)
+func (m *SeqRegressor) matrices() []*matrix { return m.mats }
+
+// encode runs the recurrent encoder in the given scratch and returns
+// the caches plus the concatenated final hidden state (a slice of
+// ts.enc, valid until the scratch is reused).
+func (m *SeqRegressor) encode(seq [][]float64, ts *trainScratch) (fwSteps, bwSteps []lstmStep, enc []float64) {
+	if ts.enc == nil {
+		ts.enc = make([]float64, m.encDim())
+	}
+	fwSteps = m.fw.forward(seq, false, &ts.fw)
+	enc = ts.enc[:m.encDim()]
+	copy(enc[:m.cfg.Hidden], fwSteps[len(fwSteps)-1].h)
 	if m.bw != nil {
-		rev := make([][]float64, len(seq))
-		for i := range seq {
-			rev[i] = seq[len(seq)-1-i]
-		}
-		bwSteps = m.bw.forward(rev)
-		enc = append(enc, bwSteps[len(bwSteps)-1].h...)
+		bwSteps = m.bw.forward(seq, true, &ts.bw)
+		copy(enc[m.cfg.Hidden:], bwSteps[len(bwSteps)-1].h)
 	}
 	return fwSteps, bwSteps, enc
 }
 
 // Predict runs a forward pass. It allocates all intermediate state, so
 // a single model may serve many goroutines concurrently as long as no
-// training step runs at the same time.
+// training step runs at the same time. (Serving goes through the
+// Compiled fast path; this is the reference oracle.)
 func (m *SeqRegressor) Predict(seq [][]float64) []float64 {
-	if len(seq) == 0 {
-		return make([]float64, m.cfg.OutputDim)
-	}
-	_, _, enc := m.encode(seq)
 	y := make([]float64, m.cfg.OutputDim)
+	if len(seq) == 0 {
+		return y
+	}
+	var ts trainScratch
+	_, _, enc := m.encode(seq, &ts)
 	for o := 0; o < m.cfg.OutputDim; o++ {
 		z := m.ob.W[o]
 		row := o * len(enc)
@@ -117,10 +156,18 @@ type Sample struct {
 	Target []float64
 }
 
-// gradSample computes the loss for one sample and accumulates gradients.
+// gradSample computes the loss for one sample and accumulates
+// gradients. All intermediate state lives in the model's training
+// scratch, so steady-state calls do not allocate.
 func (m *SeqRegressor) gradSample(s Sample) float64 {
-	fwSteps, bwSteps, enc := m.encode(s.Seq)
-	y := make([]float64, m.cfg.OutputDim)
+	ts := &m.ts
+	if ts.y == nil {
+		ts.y = make([]float64, m.cfg.OutputDim)
+		ts.dy = make([]float64, m.cfg.OutputDim)
+		ts.dEnc = make([]float64, m.encDim())
+	}
+	fwSteps, bwSteps, enc := m.encode(s.Seq, ts)
+	y := ts.y
 	for o := 0; o < m.cfg.OutputDim; o++ {
 		z := m.ob.W[o]
 		row := o * len(enc)
@@ -130,7 +177,7 @@ func (m *SeqRegressor) gradSample(s Sample) float64 {
 		y[o] = z
 	}
 	loss := 0.0
-	dy := make([]float64, m.cfg.OutputDim)
+	dy := ts.dy
 	for o := range y {
 		diff := y[o] - s.Target[o]
 		loss += diff * diff
@@ -138,7 +185,10 @@ func (m *SeqRegressor) gradSample(s Sample) float64 {
 	}
 	loss /= float64(m.cfg.OutputDim)
 
-	dEnc := make([]float64, len(enc))
+	dEnc := ts.dEnc[:len(enc)]
+	for i := range dEnc {
+		dEnc[i] = 0
+	}
 	for o := 0; o < m.cfg.OutputDim; o++ {
 		m.ob.g[o] += dy[o]
 		row := o * len(enc)
@@ -147,9 +197,9 @@ func (m *SeqRegressor) gradSample(s Sample) float64 {
 			dEnc[k] += dy[o] * m.out.W[row+k]
 		}
 	}
-	m.fw.backward(fwSteps, dEnc[:m.cfg.Hidden])
+	m.fw.backward(fwSteps, dEnc[:m.cfg.Hidden], &ts.fw)
 	if m.bw != nil {
-		m.bw.backward(bwSteps, dEnc[m.cfg.Hidden:])
+		m.bw.backward(bwSteps, dEnc[m.cfg.Hidden:], &ts.bw)
 	}
 	return loss
 }
@@ -166,6 +216,65 @@ const (
 	adamBeta2 = 0.999
 	adamEps   = 1e-8
 )
+
+// applyStep runs the shared tail of one optimisation step: global-norm
+// clipping over the averaged gradient, then the Adam update. Both the
+// reference TrainBatch and the compiled plan end their batches here, so
+// the optimiser semantics (and the clip observability) are one code
+// path. Reports whether the clip bound.
+func (m *SeqRegressor) applyStep(lr float64, batchSize int) bool {
+	m.t++
+	clipped := false
+	invBatch := 1.0 / float64(batchSize)
+	if m.clipNorm > 0 {
+		// Global-norm clipping over the averaged gradient.
+		sumSq := 0.0
+		for _, mat := range m.matrices() {
+			for _, g := range mat.g {
+				v := g * invBatch
+				sumSq += v * v
+			}
+		}
+		if norm := math.Sqrt(sumSq); norm > m.clipNorm {
+			clipped = true
+			scale := m.clipNorm / norm
+			for _, mat := range m.matrices() {
+				for i := range mat.g {
+					mat.g[i] *= scale
+				}
+			}
+		}
+	}
+	for _, mat := range m.matrices() {
+		l1 := 0.0
+		if mat != m.ob { // no regularisation on biases' counterpart head bias
+			l1 = m.cfg.L1
+		}
+		mat.adamStep(lr, adamBeta1, adamBeta2, adamEps, l1, invBatch, m.t)
+	}
+	m.lastClipped = clipped
+	return clipped
+}
+
+// ensureReplicas builds or extends the persistent worker replica set
+// and syncs each replica's weights to the master, zeroing its gradient
+// buffers — the per-batch cost that replaced the per-batch clone.
+func (m *SeqRegressor) ensureReplicas(workers int) {
+	for len(m.replicas) < workers {
+		m.replicas = append(m.replicas, m.cloneForWorker())
+	}
+	for len(m.workerLoss) < workers {
+		m.workerLoss = append(m.workerLoss, 0)
+	}
+	for w := 0; w < workers; w++ {
+		r := m.replicas[w]
+		for i, mat := range r.matrices() {
+			mat.syncWeightsFrom(m.mats[i])
+			mat.zeroGrad()
+		}
+		m.workerLoss[w] = 0
+	}
+}
 
 // TrainBatch runs one optimisation step on a batch, spreading gradient
 // computation across workers, and returns the mean sample loss.
@@ -187,56 +296,27 @@ func (m *SeqRegressor) TrainBatch(batch []Sample, lr float64, workers int) float
 			totalLoss += m.gradSample(s)
 		}
 	} else {
-		replicas := make([]*SeqRegressor, workers)
-		losses := make([]float64, workers)
+		m.ensureReplicas(workers)
 		var wg sync.WaitGroup
 		for w := 0; w < workers; w++ {
-			replicas[w] = m.cloneForWorker()
 			wg.Add(1)
 			go func(w int) {
 				defer wg.Done()
 				for i := w; i < len(batch); i += workers {
-					losses[w] += replicas[w].gradSample(batch[i])
+					m.workerLoss[w] += m.replicas[w].gradSample(batch[i])
 				}
 			}(w)
 		}
 		wg.Wait()
-		master := m.matrices()
 		for w := 0; w < workers; w++ {
-			totalLoss += losses[w]
-			for i, mat := range replicas[w].matrices() {
-				master[i].addGradFrom(mat)
+			totalLoss += m.workerLoss[w]
+			for i, mat := range m.replicas[w].matrices() {
+				m.mats[i].addGradFrom(mat)
 			}
 		}
 	}
 
-	m.t++
-	invBatch := 1.0 / float64(len(batch))
-	if m.clipNorm > 0 {
-		// Global-norm clipping over the averaged gradient.
-		sumSq := 0.0
-		for _, mat := range m.matrices() {
-			for _, g := range mat.g {
-				v := g * invBatch
-				sumSq += v * v
-			}
-		}
-		if norm := math.Sqrt(sumSq); norm > m.clipNorm {
-			scale := m.clipNorm / norm
-			for _, mat := range m.matrices() {
-				for i := range mat.g {
-					mat.g[i] *= scale
-				}
-			}
-		}
-	}
-	for _, mat := range m.matrices() {
-		l1 := 0.0
-		if mat != m.ob { // no regularisation on biases' counterpart head bias
-			l1 = m.cfg.L1
-		}
-		mat.adamStep(lr, adamBeta1, adamBeta2, adamEps, l1, invBatch, m.t)
-	}
+	m.applyStep(lr, len(batch))
 	return totalLoss / float64(len(batch))
 }
 
@@ -254,6 +334,7 @@ func (m *SeqRegressor) cloneForWorker() *SeqRegressor {
 	}
 	r.out = m.out.clone()
 	r.ob = m.ob.clone()
+	r.mats = r.buildMatrices()
 	return r
 }
 
@@ -271,10 +352,22 @@ type FitOptions struct {
 	// Progress, when non-nil, is invoked after each epoch with the mean
 	// training loss; returning false stops training early.
 	Progress func(epoch int, loss float64) bool
+	// OnBatch, when non-nil, is invoked after each optimisation step
+	// with the number of samples in the batch and whether the clip
+	// bound — the training-observability hook.
+	OnBatch func(samples int, clipped bool)
 }
 
 // Fit trains on the dataset with shuffled mini-batches.
 func (m *SeqRegressor) Fit(data []Sample, opt FitOptions) float64 {
+	return m.fit(data, opt, nil)
+}
+
+// fit is the shared epoch/shuffle/batch loop behind the reference Fit
+// and TrainCompiled.Fit: the two paths differ only in the batch-step
+// function, so shuffling, batching, progress and observability hooks
+// behave identically (and a fixed seed yields the same batch order).
+func (m *SeqRegressor) fit(data []Sample, opt FitOptions, tc *TrainCompiled) float64 {
 	if opt.Epochs <= 0 {
 		opt.Epochs = 1
 	}
@@ -290,6 +383,7 @@ func (m *SeqRegressor) Fit(data []Sample, opt FitOptions) float64 {
 	for i := range idx {
 		idx[i] = i
 	}
+	batch := make([]Sample, 0, opt.BatchSize)
 	lastLoss := 0.0
 	for e := 0; e < opt.Epochs; e++ {
 		rng.Shuffle(len(idx), func(i, j int) { idx[i], idx[j] = idx[j], idx[i] })
@@ -300,12 +394,19 @@ func (m *SeqRegressor) Fit(data []Sample, opt FitOptions) float64 {
 			if end > len(idx) {
 				end = len(idx)
 			}
-			batch := make([]Sample, 0, end-start)
+			batch = batch[:0]
 			for _, i := range idx[start:end] {
 				batch = append(batch, data[i])
 			}
-			sum += m.TrainBatch(batch, opt.LR, opt.Workers)
+			if tc != nil {
+				sum += tc.TrainBatch(batch, opt.LR, opt.Workers)
+			} else {
+				sum += m.TrainBatch(batch, opt.LR, opt.Workers)
+			}
 			batches++
+			if opt.OnBatch != nil {
+				opt.OnBatch(len(batch), m.lastClipped)
+			}
 		}
 		if batches > 0 {
 			lastLoss = sum / float64(batches)

@@ -1,0 +1,8 @@
+//go:build race
+
+package nn
+
+// Allocation counts are not stable under the race detector (it
+// instruments allocations and randomises sync.Pool behaviour), so the
+// alloc-bound tests skip themselves when it is on.
+const raceEnabled = true

@@ -196,6 +196,19 @@ func (a *API) handleStats(w http.ResponseWriter, _ *http.Request) {
 			"pending_forwards": cs.PendingForwards,
 		}
 	}
+	if ts := s.Train; ts.Runs > 0 || ts.Lanes > 0 {
+		doc["train"] = map[string]any{
+			"runs":            ts.Runs,
+			"epochs":          ts.Epochs,
+			"batches":         ts.Batches,
+			"samples":         ts.Samples,
+			"clip_events":     ts.ClipEvents,
+			"lanes":           ts.Lanes,
+			"train_seconds":   ts.TrainSeconds,
+			"last_loss":       ts.LastLoss,
+			"samples_per_sec": ts.SamplesPerSec,
+		}
+	}
 	writeJSON(w, doc)
 }
 
@@ -605,6 +618,19 @@ func (a *API) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 		counter("seatwin_cluster_fenced_total", "records abandoned on ownership loss", float64(cs.Fenced))
 		counter("seatwin_cluster_rebalances_total", "assignments applied by this worker", float64(cs.Rebalances))
 	}
+	// Training counters (process-wide recorder; all zero in a process
+	// that never trains). Exported unconditionally so dashboards can
+	// alert on "no retrain in N days" without a missing-series case.
+	ts := s.Train
+	counter("seatwin_train_runs_total", "completed S-VRF training runs", float64(ts.Runs))
+	counter("seatwin_train_epochs_total", "training epochs finished", float64(ts.Epochs))
+	counter("seatwin_train_batches_total", "optimiser steps taken", float64(ts.Batches))
+	counter("seatwin_train_samples_total", "training samples consumed (each epoch visit counts)", float64(ts.Samples))
+	counter("seatwin_train_clip_events_total", "batches whose gradient hit the clip bound", float64(ts.ClipEvents))
+	counter("seatwin_train_lanes_total", "L-VRF lane graphs built", float64(ts.Lanes))
+	counter("seatwin_train_seconds_total", "wall time spent inside training epochs", ts.TrainSeconds)
+	gauge("seatwin_train_last_loss", "most recent per-epoch mean training loss", ts.LastLoss)
+	gauge("seatwin_train_samples_per_second", "lifetime mean training throughput", ts.SamplesPerSec)
 	// Consumer-group lag, one gauge sample per topic+group pair, across
 	// every broker the pipeline touches (cluster forward topics and the
 	// dedicated output streams).

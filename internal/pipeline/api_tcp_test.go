@@ -81,6 +81,12 @@ func TestMetricsEndpoint(t *testing.T) {
 		`seatwin_processing_seconds{quantile="0.99"}`,
 		"seatwin_processing_seconds_count 3",
 		"# TYPE seatwin_messages_total counter",
+		// Training counters export unconditionally (zero when the
+		// process never trained).
+		"# TYPE seatwin_train_runs_total counter",
+		"seatwin_train_batches_total",
+		"seatwin_train_clip_events_total",
+		"seatwin_train_samples_per_second",
 	} {
 		if !strings.Contains(body, want) {
 			t.Errorf("metrics missing %q:\n%s", want, body)

@@ -895,6 +895,9 @@ type Stats struct {
 	// Cluster is the worker's cluster counters, nil in single-process
 	// mode.
 	Cluster *ClusterStats
+	// Train is the process-wide training recorder snapshot: non-zero
+	// only in processes that have trained (or retrained) a model.
+	Train metrics.TrainStats
 }
 
 // Stats snapshots the pipeline counters.
@@ -915,6 +918,7 @@ func (p *Pipeline) Stats() Stats {
 		CheckpointRestores: p.ckptRestores.Value(),
 		CheckpointFailures: p.ckptFailures.Value(),
 		Cluster:            p.clusterStats(),
+		Train:              metrics.Training.Snapshot(),
 	}
 }
 

@@ -244,6 +244,12 @@ type TrainOptions struct {
 	LR        float64
 	Workers   int
 	Seed      int64
+	// Reference forces the interpreted reference trainer instead of the
+	// compiled fused-gate BPTT path. The two agree to 1e-8 per gradient
+	// element (see internal/nn's parity tests); the switch exists for
+	// A/B benchmarks and as an escape hatch, not because the outputs
+	// differ meaningfully.
+	Reference bool
 	// Progress receives per-epoch training loss; return false to stop.
 	Progress func(epoch int, loss float64) bool
 }
@@ -254,20 +260,44 @@ func DefaultTrainOptions() TrainOptions {
 }
 
 // Train fits the network on preprocessed windows and returns the final
-// mean training loss.
+// mean training loss. Training runs through the compiled fast path by
+// default (see TrainOptions.Reference) and records throughput, clip
+// events and per-epoch loss into the process-wide metrics.Training
+// recorder, so a serving process that retrains exposes the run on its
+// /metrics endpoint.
 func (m *Model) Train(windows []traj.Window, opt TrainOptions) float64 {
 	samples := make([]nn.Sample, len(windows))
 	for i, w := range windows {
 		samples[i] = nn.Sample{Seq: w.Input, Target: w.Target}
 	}
-	loss := m.net.Fit(samples, nn.FitOptions{
+	var batchHint uint64
+	epochStart := time.Now()
+	fitOpt := nn.FitOptions{
 		Epochs:    opt.Epochs,
 		BatchSize: opt.BatchSize,
 		LR:        opt.LR,
 		Workers:   opt.Workers,
 		Seed:      opt.Seed,
-		Progress:  opt.Progress,
-	})
+		OnBatch: func(n int, clipped bool) {
+			batchHint++
+			metrics.Training.Batch(batchHint, n, clipped)
+		},
+		Progress: func(epoch int, loss float64) bool {
+			metrics.Training.Epoch(loss, time.Since(epochStart))
+			epochStart = time.Now()
+			if opt.Progress != nil {
+				return opt.Progress(epoch, loss)
+			}
+			return true
+		},
+	}
+	var loss float64
+	if opt.Reference {
+		loss = m.net.Fit(samples, fitOpt)
+	} else {
+		loss = m.net.CompileTrain().Fit(samples, fitOpt)
+	}
+	metrics.Training.Run()
 	// The weights moved; drop the stale inference snapshot. The next
 	// forecast recompiles from the new weights. Forecasts already in
 	// flight keep using the old snapshot safely — it shares no storage
