@@ -18,36 +18,68 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"os"
 	"time"
 
 	"seatwin/internal/experiments"
 )
 
 func main() {
+	if err := run(); err != nil {
+		log.Print(err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
 	var (
 		scaleFlag = flag.String("scale", "small", "small (fast) | full (EXPERIMENTS.md scale)")
 		seed      = flag.Int64("seed", 42, "dataset seed")
 		out       = flag.String("out", "s-vrf.gob", "output model file")
 		bench     = flag.Bool("bench", false, "run the training-throughput benchmark instead of training")
 		benchOut  = flag.String("bench-out", "BENCH_PR8.json", "benchmark JSON output file (-bench only)")
-		benchNote = flag.String("bench-note", "", "free-form note recorded in the benchmark artifact")
+		benchNote = flag.String("bench-note", "", "free-form note recorded in the benchmark artifact (-bench only)")
 	)
 	flag.Parse()
+
+	// Reject invalid flag combinations up front instead of silently
+	// ignoring (or defaulting) them: a typo'd -scale or a -bench-out
+	// without -bench would otherwise run the wrong job and still exit 0.
+	var explicit = map[string]bool{}
+	flag.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
+	if !*bench {
+		for _, name := range []string{"bench-out", "bench-note"} {
+			if explicit[name] {
+				return fmt.Errorf("-%s requires -bench", name)
+			}
+		}
+	} else {
+		for _, name := range []string{"scale", "seed", "out"} {
+			if explicit[name] {
+				return fmt.Errorf("-%s does not apply to -bench", name)
+			}
+		}
+	}
 
 	if *bench {
 		r := experiments.RunTrainBench(experiments.DefaultTrainBenchConfig())
 		r.Note = *benchNote
 		fmt.Print(r.Format())
 		if err := r.WriteFile(*benchOut); err != nil {
-			log.Fatalf("write benchmark: %v", err)
+			return fmt.Errorf("write benchmark: %w", err)
 		}
 		log.Printf("benchmark written to %s", *benchOut)
-		return
+		return nil
 	}
 
-	scale := experiments.Small
-	if *scaleFlag == "full" {
+	var scale experiments.Scale
+	switch *scaleFlag {
+	case "small":
+		scale = experiments.Small
+	case "full":
 		scale = experiments.Full
+	default:
+		return fmt.Errorf("unknown -scale %q (want small or full)", *scaleFlag)
 	}
 
 	start := time.Now()
@@ -62,7 +94,8 @@ func main() {
 	fmt.Print(experiments.RunTable1(tm).Format())
 
 	if err := tm.Model.SaveFile(*out); err != nil {
-		log.Fatalf("save: %v", err)
+		return fmt.Errorf("save: %w", err)
 	}
 	log.Printf("model saved to %s", *out)
+	return nil
 }

@@ -47,16 +47,23 @@ import (
 	"seatwin/internal/pipeline"
 	"seatwin/internal/retry"
 	"seatwin/internal/svrf"
+	"seatwin/internal/trainer"
 	"seatwin/internal/views"
 )
 
 // opts carries the parsed flag set to the run modes.
 type opts struct {
-	vessels     int
-	box         geo.BBox
-	region      string
-	fc          events.TrackForecaster
-	injector    *chaos.Injector
+	vessels int
+	box     geo.BBox
+	region  string
+	fc      events.TrackForecaster
+	// model is the live S-VRF model behind fc when one exists (loaded
+	// from -model, or created untrained for the lifecycle loop); nil
+	// when the kinematic forecaster serves.
+	model        *svrf.Model
+	retrainEvery time.Duration
+	shadowHold   float64
+	injector     *chaos.Injector
 	addr        string
 	respAddr    string
 	duration    time.Duration
@@ -92,6 +99,9 @@ func main() {
 		pprofOn     = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ on the API address")
 		chaosSpec   = flag.String("chaos", "", "fault-injection spec, e.g. error=0.1,latency=5ms,panic=0.001,truncate=0.01,seed=7 (empty = off)")
 		ckptEvery   = flag.Int("checkpoint-every", 0, "reports between vessel history checkpoints (0 = 16; negative = disable checkpointing)")
+		retrainEvery = flag.Duration("retrain-every", 0, "background model-retrain interval (0 = lifecycle loop off; single-process mode only)")
+		shadowHold   = flag.Float64("shadow-holdout", 0.25, "newest fraction of replayed windows held out for the shadow eval")
+
 		mode        = flag.String("cluster", "", "cluster mode: empty (single process) | multi | coordinator | worker")
 		partitions  = flag.Int("partitions", 8, "cluster partition count (cluster modes)")
 		workers     = flag.Int("workers", 2, "worker count for -cluster multi")
@@ -125,20 +135,38 @@ func main() {
 		log.Fatalf("unknown region %q", *region)
 	}
 
+	if *shadowHold <= 0 || *shadowHold >= 1 {
+		log.Fatalf("-shadow-holdout %v outside (0,1)", *shadowHold)
+	}
 	var fc events.TrackForecaster = events.NewKinematicForecaster()
-	if *modelPath != "" {
+	var model *svrf.Model
+	switch {
+	case *modelPath != "":
 		m, err := svrf.LoadFile(*modelPath, svrf.DefaultConfig())
 		if err != nil {
 			log.Fatalf("load model: %v", err)
 		}
+		model = m
 		fc = events.SVRFForecaster{Model: m}
 		log.Printf("loaded S-VRF model from %s", *modelPath)
-	} else {
+	case *retrainEvery > 0:
+		// The lifecycle loop needs a live S-VRF model to retrain and
+		// swap; without -model it starts untrained and the first
+		// promoted candidate takes over.
+		m, err := svrf.New(svrf.DefaultConfig())
+		if err != nil {
+			log.Fatalf("init model: %v", err)
+		}
+		model = m
+		fc = events.SVRFForecaster{Model: m}
+		log.Printf("no -model given; starting with untrained S-VRF weights (first promoted retrain takes over)")
+	default:
 		log.Printf("no -model given; using the linear kinematic forecaster")
 	}
 
 	o := opts{
 		vessels: *vessels, box: box, region: *region, fc: fc, injector: injector,
+		model: model, retrainEvery: *retrainEvery, shadowHold: *shadowHold,
 		addr: *addr, respAddr: *respAddr, duration: *duration, seed: *seed,
 		dataDir: *dataDir, ports: *ports, feedTCP: *feedTCP, feedRes: *feedRes,
 		views:   *viewsOn,
@@ -358,13 +386,58 @@ func runSingle(o opts) {
 		log.Fatal(err)
 	}
 	startConsumers(o, br, p, topic, 4)
+	var tr *trainer.Trainer
+	if o.retrainEvery > 0 {
+		tr = startTrainer(o, br, p, topic)
+	}
 	simLoop(o, br, topic, nil, func() string { return statsLine(p) })
 
+	if tr != nil {
+		// Stop before Drain (runSingle exits via os.Exit, so no defer):
+		// an in-flight retrain finishes, then the loop and consumer shut
+		// down cleanly.
+		tr.Stop()
+		ls := p.Stats().Lifecycle
+		log.Printf("lifecycle: cycles=%d promotions=%d rejections=%d skips=%d generation=%d",
+			ls.Cycles, ls.Promotions, ls.Rejections, ls.Skips, ls.Generation)
+	}
 	p.Drain(10 * time.Second)
 	s := p.Stats()
 	fmt.Printf("final: actors=%d messages=%d forecasts=%d events=%d\n",
 		s.LiveActors, s.Messages, s.Forecasts, s.Events)
 	os.Exit(0)
+}
+
+// startTrainer wires the background model-lifecycle loop into a
+// single-process run: replay from the AIS topic on a dedicated
+// consumer group, shadow-eval candidates against the live model, and
+// hot-swap on a win. The L-VRF rebuild publishes through the
+// pipeline's atomic route-model pointer, so /api/route serves lanes as
+// soon as the first rebuild lands.
+func startTrainer(o opts, br *broker.Broker, p *pipeline.Pipeline, topic string) *trainer.Trainer {
+	if o.model == nil {
+		log.Fatal("-retrain-every needs a live S-VRF model")
+	}
+	portMap := make(map[string]geo.Point)
+	for _, pt := range fleetsim.PortsWithin(regionOrGlobal(o.box)) {
+		portMap[pt.Name] = pt.Pos
+	}
+	tr, err := trainer.New(trainer.Config{
+		Broker:       br,
+		Topic:        topic,
+		Live:         o.model,
+		Interval:     o.retrainEvery,
+		HoldoutFrac:  o.shadowHold,
+		Ports:        portMap,
+		PublishRoute: p.SetRouteModel,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	tr.Start()
+	log.Printf("lifecycle trainer: retrain every %v (shadow holdout %.0f%%, %d catalog ports)",
+		o.retrainEvery, o.shadowHold*100, len(portMap))
+	return tr
 }
 
 // runMulti runs the whole cluster in one process: an in-memory

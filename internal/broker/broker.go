@@ -100,6 +100,14 @@ func (p *partition) truncate(keep int) {
 	}
 }
 
+// head returns the retention head: the offset of the oldest retained
+// record (== end when the partition is empty).
+func (p *partition) head() int64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.base
+}
+
 // topic is a set of partitions plus the consumer groups reading it.
 type topic struct {
 	name       string
@@ -246,13 +254,38 @@ func (b *Broker) EndOffsets(topicName string) ([]int64, error) {
 }
 
 // Truncate enforces a per-partition retention of keep records.
+//
+// Committed offsets that the truncation leaves behind the new retention
+// heads are snapped forward to them, mirroring what reads already do
+// (auto.offset.reset=earliest): without the snap, a group that was
+// lagging past the dropped records would report the unreadable gap as
+// lag forever. A consumer that polled records before the truncation and
+// commits afterwards still wins — its position is past the new head, so
+// the usual only-advance commit rule applies.
 func (b *Broker) Truncate(topicName string, keep int) error {
 	t, err := b.topic(topicName)
 	if err != nil {
 		return err
 	}
-	for _, p := range t.partitions {
+	heads := make([]int64, len(t.partitions))
+	for i, p := range t.partitions {
 		p.truncate(keep)
+		heads[i] = p.head()
+	}
+	t.groupMu.Lock()
+	groups := make([]*group, 0, len(t.groups))
+	for _, g := range t.groups {
+		groups = append(groups, g)
+	}
+	t.groupMu.Unlock()
+	for _, g := range groups {
+		g.mu.Lock()
+		for pi, head := range heads {
+			if g.committed[pi] < head {
+				g.committed[pi] = head
+			}
+		}
+		g.mu.Unlock()
 	}
 	return nil
 }
@@ -269,7 +302,11 @@ func (b *Broker) Lag(topicName, groupName string) ([]int64, error) {
 	defer g.mu.Unlock()
 	out := make([]int64, len(t.partitions))
 	for i, p := range t.partitions {
-		out[i] = p.end() - g.committed[i]
+		// Clamp: a commit racing a concurrent truncate-and-append cycle
+		// can transiently observe committed > end; lag is never negative.
+		if d := p.end() - g.committed[i]; d > 0 {
+			out[i] = d
+		}
 	}
 	return out, nil
 }
@@ -310,7 +347,11 @@ func (b *Broker) GroupLags() []GroupLag {
 			g.mu.Lock()
 			var total int64
 			for pi, p := range t.partitions {
-				total += p.end() - g.committed[pi]
+				// Same clamp as Lag: transient committed-past-end reads
+				// must not produce a negative gauge.
+				if d := p.end() - g.committed[pi]; d > 0 {
+					total += d
+				}
 			}
 			g.mu.Unlock()
 			out = append(out, GroupLag{Topic: t.name, Group: names[i], Lag: total})

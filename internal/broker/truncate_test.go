@@ -1,0 +1,169 @@
+package broker
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// Truncation must snap lagging committed offsets forward to the new
+// retention heads: a group still behind the dropped records can never
+// read them, so leaving its offsets in the gap would report phantom lag
+// forever.
+func TestTruncateSnapsCommittedOffsets(t *testing.T) {
+	b := New()
+	if err := b.CreateTopic("t", 1); err != nil {
+		t.Fatal(err)
+	}
+	c, err := b.Subscribe("t", "g")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	for i := 0; i < 100; i++ {
+		if _, _, err := b.Produce("t", "k", i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Consume and commit only the first 10.
+	if recs := c.Poll(10, time.Second); len(recs) != 10 {
+		t.Fatalf("polled %d records, want 10", len(recs))
+	}
+	c.Commit()
+
+	// Retention drops everything but the newest 20 (head moves to 80).
+	if err := b.Truncate("t", 20); err != nil {
+		t.Fatal(err)
+	}
+	lags, err := b.Lag("t", "g")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lags[0] != 20 {
+		t.Fatalf("lag %d after truncate, want 20 (committed snapped to head)", lags[0])
+	}
+
+	// The consumer's stale in-flight position (10) snaps forward on read
+	// — it must resume at the head, not see dropped offsets.
+	recs := c.Poll(100, time.Second)
+	if len(recs) != 20 {
+		t.Fatalf("polled %d retained records, want 20", len(recs))
+	}
+	if recs[0].Offset != 80 {
+		t.Fatalf("first retained offset %d, want 80", recs[0].Offset)
+	}
+	c.Commit()
+	if lags, _ = b.Lag("t", "g"); lags[0] != 0 {
+		t.Fatalf("lag %d after draining, want 0", lags[0])
+	}
+}
+
+// A consumer that polled records before a truncation and commits after
+// it must still win when its position is ahead of the new head — the
+// snap only ever advances offsets.
+func TestTruncateDoesNotRegressAheadCommit(t *testing.T) {
+	b := New()
+	if err := b.CreateTopic("t", 1); err != nil {
+		t.Fatal(err)
+	}
+	c, err := b.Subscribe("t", "g")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	for i := 0; i < 100; i++ {
+		if _, _, err := b.Produce("t", "k", i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if recs := c.Poll(90, time.Second); len(recs) != 90 {
+		t.Fatalf("polled %d records, want 90", len(recs))
+	}
+	// Truncate to 20 (head 80) BEFORE the commit: the in-flight position
+	// (90) is ahead of the head and must survive the snap.
+	if err := b.Truncate("t", 20); err != nil {
+		t.Fatal(err)
+	}
+	c.Commit()
+	lags, err := b.Lag("t", "g")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lags[0] != 10 {
+		t.Fatalf("lag %d, want 10 (commit at 90 beats snapped head 80)", lags[0])
+	}
+}
+
+// Truncating while consumers poll, commit and producers append must be
+// race-free, and lag accounting must never go negative. Run with -race.
+func TestTruncateWhileConsuming(t *testing.T) {
+	b := New()
+	const partitions = 4
+	if err := b.CreateTopic("t", partitions); err != nil {
+		t.Fatal(err)
+	}
+
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+
+	// Producer: steady append across keys.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; !stop.Load(); i++ {
+			if _, _, err := b.Produce("t", fmt.Sprintf("k%d", i%17), i); err != nil {
+				panic(err)
+			}
+		}
+	}()
+
+	// Two consumers in one group, polling and committing.
+	for g := 0; g < 2; g++ {
+		c, err := b.Subscribe("t", "g")
+		if err != nil {
+			t.Fatal(err)
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer c.Close()
+			for !stop.Load() {
+				c.Poll(64, time.Millisecond)
+				c.Commit()
+			}
+		}()
+	}
+
+	// Retention enforcement racing the consumers.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for !stop.Load() {
+			if err := b.Truncate("t", 32); err != nil {
+				panic(err)
+			}
+		}
+	}()
+
+	deadline := time.Now().Add(500 * time.Millisecond)
+	for time.Now().Before(deadline) {
+		lags, err := b.Lag("t", "g")
+		if err != nil {
+			t.Fatal(err)
+		}
+		for pi, lag := range lags {
+			if lag < 0 {
+				t.Fatalf("negative lag %d on partition %d", lag, pi)
+			}
+		}
+		for _, gl := range b.GroupLags() {
+			if gl.Lag < 0 {
+				t.Fatalf("negative group lag %d for %s/%s", gl.Lag, gl.Topic, gl.Group)
+			}
+		}
+	}
+	stop.Store(true)
+	wg.Wait()
+}

@@ -1,0 +1,93 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"seatwin/internal/svrf"
+	"seatwin/internal/traj"
+)
+
+// This file is the promotion gate of the model lifecycle (ROADMAP #5):
+// the background trainer shadow-evaluates a freshly trained candidate
+// against the live model on held-out recent windows and asks this gate
+// whether the candidate may ship. The gate is deliberately conservative
+// — when the holdout is too small to mean anything, or the candidate's
+// error is non-finite (a diverged fit), the verdict is always "keep
+// the live model".
+
+// PromotionConfig tunes the gate.
+type PromotionConfig struct {
+	// MaxADERatio is the worst candidate/live mean-ADE ratio that still
+	// promotes. 1.0 (the default) requires the candidate to be at least
+	// as good as the live model; values slightly above 1 tolerate eval
+	// noise, values below 1 demand a strict improvement.
+	MaxADERatio float64
+	// MinHoldout is the fewest held-out windows that make the shadow
+	// eval meaningful; with fewer the gate rejects without evaluating.
+	MinHoldout int
+}
+
+// DefaultPromotionConfig returns the conservative defaults.
+func DefaultPromotionConfig() PromotionConfig {
+	return PromotionConfig{MaxADERatio: 1.0, MinHoldout: 32}
+}
+
+// PromotionResult is the gate's verdict plus the evidence behind it.
+type PromotionResult struct {
+	// Promote is the verdict: true means the candidate may replace the
+	// live model.
+	Promote bool
+	// Reason explains the verdict in operator-readable form.
+	Reason string
+	// Holdout is the number of held-out windows evaluated.
+	Holdout int
+	// LiveADE and CandidateADE are mean displacement errors in meters
+	// over the holdout (zero when the eval never ran).
+	LiveADE      float64
+	CandidateADE float64
+	// LiveByHorizon and CandidateByHorizon break the ADE out per
+	// forecast horizon (the Table 1 shape).
+	LiveByHorizon      []float64
+	CandidateByHorizon []float64
+}
+
+// RunPromotion shadow-evaluates candidate against live on the held-out
+// windows and returns the gate's verdict. Neither model is mutated; the
+// caller performs the hot-swap on a positive verdict.
+func RunPromotion(live, candidate svrf.Predictor, holdout []traj.Window, cfg PromotionConfig) PromotionResult {
+	if cfg.MaxADERatio <= 0 {
+		cfg.MaxADERatio = 1.0
+	}
+	res := PromotionResult{Holdout: len(holdout)}
+	if len(holdout) < cfg.MinHoldout {
+		res.Reason = fmt.Sprintf("insufficient holdout: %d windows < %d required", len(holdout), cfg.MinHoldout)
+		return res
+	}
+	liveDE := svrf.EvaluateADE(live, holdout)
+	candDE := svrf.EvaluateADE(candidate, holdout)
+	res.LiveADE = liveDE.MeanADE()
+	res.CandidateADE = candDE.MeanADE()
+	for h := 0; h < liveDE.Horizons(); h++ {
+		res.LiveByHorizon = append(res.LiveByHorizon, liveDE.ADE(h))
+	}
+	for h := 0; h < candDE.Horizons(); h++ {
+		res.CandidateByHorizon = append(res.CandidateByHorizon, candDE.ADE(h))
+	}
+	switch {
+	case math.IsNaN(res.CandidateADE) || math.IsInf(res.CandidateADE, 0):
+		// A diverged candidate must never win a NaN comparison.
+		res.Reason = fmt.Sprintf("candidate ADE is non-finite (%v): diverged fit", res.CandidateADE)
+	case math.IsNaN(res.LiveADE) || math.IsInf(res.LiveADE, 0):
+		res.Promote = true
+		res.Reason = fmt.Sprintf("live ADE is non-finite (%v), candidate %.1f m is finite", res.LiveADE, res.CandidateADE)
+	case res.CandidateADE > res.LiveADE*cfg.MaxADERatio:
+		res.Reason = fmt.Sprintf("candidate ADE %.1f m exceeds live %.1f m × %.2f on %d held-out windows",
+			res.CandidateADE, res.LiveADE, cfg.MaxADERatio, len(holdout))
+	default:
+		res.Promote = true
+		res.Reason = fmt.Sprintf("candidate ADE %.1f m beats live %.1f m × %.2f on %d held-out windows",
+			res.CandidateADE, res.LiveADE, cfg.MaxADERatio, len(holdout))
+	}
+	return res
+}

@@ -1,0 +1,133 @@
+package experiments
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"time"
+
+	"seatwin/internal/ais"
+	"seatwin/internal/geo"
+	"seatwin/internal/svrf"
+	"seatwin/internal/traj"
+)
+
+// promotionWindows builds a deterministic multi-vessel window set.
+func promotionWindows(t testing.TB) []traj.Window {
+	t.Helper()
+	var ws []traj.Window
+	base := time.Date(2026, 8, 1, 0, 0, 0, 0, time.UTC)
+	for v := 0; v < 8; v++ {
+		start := geo.Point{Lat: 36.5 + 0.2*float64(v), Lon: 23.5 + 0.25*float64(v)}
+		cog := float64((v * 49) % 360)
+		sog := 9.0 + float64(v%7)
+		var reports []ais.PositionReport
+		for ts := time.Duration(0); ts <= 3*time.Hour; ts += 30 * time.Second {
+			pos := geo.DeadReckon(start, sog, cog, ts.Seconds())
+			reports = append(reports, ais.PositionReport{
+				MMSI: ais.MMSI(200000000 + v), Lat: pos.Lat, Lon: pos.Lon,
+				SOG: sog, COG: cog, Timestamp: base.Add(ts),
+			})
+		}
+		ws = append(ws, traj.BuildWindows(reports, traj.DefaultConfig())...)
+	}
+	if len(ws) < 200 {
+		t.Fatalf("only %d windows", len(ws))
+	}
+	return ws
+}
+
+// The gate's core promise: a deliberately worse candidate (untrained
+// weights against a trained live model) is rejected, and promoting is
+// reserved for candidates that win on the holdout.
+func TestPromotionGateRejectsWorseCandidate(t *testing.T) {
+	ws := promotionWindows(t)
+	train, holdout := ws[:len(ws)-64], ws[len(ws)-64:]
+
+	live, err := svrf.New(svrf.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	live.Train(train, svrf.TrainOptions{Epochs: 3, BatchSize: 64, LR: 2e-3, Seed: 1})
+
+	cfg := svrf.DefaultConfig()
+	cfg.Seed = 77
+	worse, err := svrf.New(cfg) // untrained: far higher held-out error
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	res := RunPromotion(live, worse, holdout, DefaultPromotionConfig())
+	if res.Promote {
+		t.Fatalf("worse candidate promoted: %+v", res)
+	}
+	if res.CandidateADE <= res.LiveADE {
+		t.Fatalf("test premise broken: candidate ADE %.1f not worse than live %.1f",
+			res.CandidateADE, res.LiveADE)
+	}
+
+	// The reverse direction must promote: the trained model evaluated as
+	// candidate against the untrained one as live.
+	res = RunPromotion(worse, live, holdout, DefaultPromotionConfig())
+	if !res.Promote {
+		t.Fatalf("better candidate rejected: %+v", res)
+	}
+	if len(res.CandidateByHorizon) != len(holdout[0].Truth) {
+		t.Fatalf("per-horizon breakdown has %d entries, want %d",
+			len(res.CandidateByHorizon), len(holdout[0].Truth))
+	}
+}
+
+func TestPromotionGateRequiresHoldout(t *testing.T) {
+	ws := promotionWindows(t)
+	live, err := svrf.New(svrf.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cand, err := live.Clone()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := RunPromotion(live, cand, ws[:8], DefaultPromotionConfig())
+	if res.Promote {
+		t.Fatal("gate promoted on an insufficient holdout")
+	}
+	if !strings.Contains(res.Reason, "insufficient holdout") {
+		t.Fatalf("unexpected reason %q", res.Reason)
+	}
+}
+
+// nanPredictor simulates a diverged fit: every forecast is NaN.
+type nanPredictor struct{}
+
+func (nanPredictor) Name() string { return "nan" }
+func (nanPredictor) Forecast(w traj.Window) []geo.Point {
+	out := make([]geo.Point, len(w.Truth))
+	for i := range out {
+		out[i] = geo.Point{Lat: math.NaN(), Lon: math.NaN()}
+	}
+	return out
+}
+
+// A diverged candidate must never ship on the strength of a NaN
+// comparison (NaN > x is false), and a diverged live model must not
+// block a finite candidate.
+func TestPromotionGateRejectsNonFiniteCandidate(t *testing.T) {
+	ws := promotionWindows(t)
+	holdout := ws[:64]
+	live, err := svrf.New(svrf.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := RunPromotion(live, nanPredictor{}, holdout, DefaultPromotionConfig())
+	if res.Promote {
+		t.Fatal("non-finite candidate promoted")
+	}
+	if !strings.Contains(res.Reason, "non-finite") {
+		t.Fatalf("unexpected reason %q", res.Reason)
+	}
+	res = RunPromotion(nanPredictor{}, live, holdout, DefaultPromotionConfig())
+	if !res.Promote {
+		t.Fatalf("finite candidate rejected against diverged live model: %+v", res)
+	}
+}

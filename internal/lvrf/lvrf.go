@@ -210,6 +210,20 @@ func Train(trips []Trip, ports map[string]geo.Point, cfg Config) *Model {
 	return m
 }
 
+// Lanes returns the number of OD-pair lane graphs the model holds —
+// the size gauge the lifecycle trainer reports after a rebuild.
+func (m *Model) Lanes() int { return len(m.lanes) }
+
+// TotalTrips returns the number of historical trips folded into the
+// model's lane graphs.
+func (m *Model) TotalTrips() int {
+	total := 0
+	for _, lg := range m.lanes {
+		total += lg.trips
+	}
+	return total
+}
+
 // Pairs returns the OD pairs the model has dedicated lanes for.
 func (m *Model) Pairs() [][2]string {
 	out := make([][2]string, 0, len(m.lanes))

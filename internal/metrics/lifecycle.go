@@ -1,0 +1,151 @@
+package metrics
+
+import (
+	"math"
+	"sync/atomic"
+	"time"
+)
+
+// This file holds the model-lifecycle observability counters: the
+// background trainer actor (internal/trainer) records one observation
+// per retrain cycle — replayed history, candidate training, shadow
+// eval, and whether the hot-swap shipped — and the serving endpoints
+// expose them as the seatwin_lifecycle_* family. The replay hook fires
+// per poll batch from the trainer goroutine, so the counters reuse the
+// sharded primitives.
+
+// LifecycleStats is a merged snapshot of the lifecycle counters.
+type LifecycleStats struct {
+	// Cycles counts completed retrain cycles (including skipped ones).
+	Cycles int64
+	// Promotions counts cycles whose candidate won the shadow eval and
+	// was hot-swapped into the live model.
+	Promotions int64
+	// Rejections counts cycles whose candidate lost the shadow eval —
+	// the gate doing its job.
+	Rejections int64
+	// Skips counts cycles abandoned before training (not enough
+	// replayed history for a train set or a meaningful holdout).
+	Skips int64
+	// ReplayRecords counts records replayed from the broker's retained
+	// history across all cycles.
+	ReplayRecords int64
+	// LaneRebuilds counts L-VRF lane-graph rebuilds published.
+	LaneRebuilds int64
+	// RetrainSeconds and EvalSeconds accumulate wall time spent
+	// training candidates and shadow-evaluating them.
+	RetrainSeconds float64
+	EvalSeconds    float64
+	// Generation is the live model's current weight generation.
+	Generation int64
+	// LastLiveADE and LastCandidateADE are the most recent shadow-eval
+	// mean displacement errors in meters (zero before the first eval).
+	LastLiveADE      float64
+	LastCandidateADE float64
+	// LastTrainWindows and LastHoldout size the most recent cycle's
+	// train and held-out sets.
+	LastTrainWindows int64
+	LastHoldout      int64
+}
+
+// CycleObservation is one retrain cycle's outcome, recorded by
+// LifecycleRecorder.Cycle.
+type CycleObservation struct {
+	Promoted     bool
+	Skipped      bool
+	LiveADE      float64
+	CandidateADE float64
+	TrainWindows int
+	Holdout      int
+	Retrain      time.Duration
+	Eval         time.Duration
+	Generation   uint64
+}
+
+// LifecycleRecorder accumulates lifecycle observations. The zero value
+// is not usable; call NewLifecycleRecorder.
+type LifecycleRecorder struct {
+	cycles     *ShardedCounter
+	promotions *ShardedCounter
+	rejections *ShardedCounter
+	skips      *ShardedCounter
+	replayed   *ShardedCounter
+	lanes      *ShardedCounter
+	trainNanos *ShardedCounter
+	evalNanos  *ShardedCounter
+	// Latest-wins gauges, stored as atomic words (Float64bits for the
+	// ADE pair, same idiom as TrainRecorder.lastLoss).
+	generation   atomic.Uint64
+	liveADE      atomic.Uint64
+	candidateADE atomic.Uint64
+	trainWindows atomic.Int64
+	holdout      atomic.Int64
+}
+
+// NewLifecycleRecorder creates an empty recorder.
+func NewLifecycleRecorder() *LifecycleRecorder {
+	return &LifecycleRecorder{
+		cycles:     NewShardedCounter(0),
+		promotions: NewShardedCounter(0),
+		rejections: NewShardedCounter(0),
+		skips:      NewShardedCounter(0),
+		replayed:   NewShardedCounter(0),
+		lanes:      NewShardedCounter(0),
+		trainNanos: NewShardedCounter(0),
+		evalNanos:  NewShardedCounter(0),
+	}
+}
+
+// Replay records n records replayed from retained history; hint routes
+// the increment to a shard (a running poll-batch index works well).
+func (l *LifecycleRecorder) Replay(hint uint64, n int) {
+	l.replayed.Inc(hint, int64(n))
+}
+
+// LaneRebuild records one published L-VRF lane-graph rebuild.
+func (l *LifecycleRecorder) LaneRebuild() { l.lanes.Inc(0, 1) }
+
+// Cycle records one completed retrain cycle.
+func (l *LifecycleRecorder) Cycle(o CycleObservation) {
+	l.cycles.Inc(0, 1)
+	l.generation.Store(o.Generation)
+	if o.Skipped {
+		l.skips.Inc(0, 1)
+		return
+	}
+	if o.Promoted {
+		l.promotions.Inc(0, 1)
+	} else {
+		l.rejections.Inc(0, 1)
+	}
+	l.trainNanos.Inc(0, int64(o.Retrain))
+	l.evalNanos.Inc(0, int64(o.Eval))
+	l.liveADE.Store(math.Float64bits(o.LiveADE))
+	l.candidateADE.Store(math.Float64bits(o.CandidateADE))
+	l.trainWindows.Store(int64(o.TrainWindows))
+	l.holdout.Store(int64(o.Holdout))
+}
+
+// Snapshot merges every counter into one LifecycleStats.
+func (l *LifecycleRecorder) Snapshot() LifecycleStats {
+	return LifecycleStats{
+		Cycles:           l.cycles.Value(),
+		Promotions:       l.promotions.Value(),
+		Rejections:       l.rejections.Value(),
+		Skips:            l.skips.Value(),
+		ReplayRecords:    l.replayed.Value(),
+		LaneRebuilds:     l.lanes.Value(),
+		RetrainSeconds:   time.Duration(l.trainNanos.Value()).Seconds(),
+		EvalSeconds:      time.Duration(l.evalNanos.Value()).Seconds(),
+		Generation:       int64(l.generation.Load()),
+		LastLiveADE:      math.Float64frombits(l.liveADE.Load()),
+		LastCandidateADE: math.Float64frombits(l.candidateADE.Load()),
+		LastTrainWindows: l.trainWindows.Load(),
+		LastHoldout:      l.holdout.Load(),
+	}
+}
+
+// Lifecycle is the process-wide recorder: the background trainer
+// records into it, and the pipeline's /metrics and /api/stats endpoints
+// snapshot it. A process without a trainer reports zeros.
+var Lifecycle = NewLifecycleRecorder()

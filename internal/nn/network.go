@@ -338,6 +338,24 @@ func (m *SeqRegressor) cloneForWorker() *SeqRegressor {
 	return r
 }
 
+// CopyWeightsFrom copies src's weights into m. The two models must
+// share the same geometry (input, hidden, output width and
+// directionality); regularisation strength and seed may differ.
+// Optimiser state (Adam moments, timestep) is deliberately not copied:
+// the receiver keeps its own training history, so a warm-started
+// retrain behaves like a fresh run from the copied weights.
+func (m *SeqRegressor) CopyWeightsFrom(src *SeqRegressor) error {
+	if m.cfg.InputDim != src.cfg.InputDim || m.cfg.Hidden != src.cfg.Hidden ||
+		m.cfg.OutputDim != src.cfg.OutputDim || m.cfg.Bidirectional != src.cfg.Bidirectional {
+		return fmt.Errorf("nn: cannot copy weights from shape %+v into %+v", src.cfg, m.cfg)
+	}
+	srcMats := src.matrices()
+	for i, mat := range m.matrices() {
+		copy(mat.W, srcMats[i].W)
+	}
+	return nil
+}
+
 // FitOptions controls Fit.
 type FitOptions struct {
 	Epochs    int

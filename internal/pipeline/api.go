@@ -209,6 +209,23 @@ func (a *API) handleStats(w http.ResponseWriter, _ *http.Request) {
 			"samples_per_sec": ts.SamplesPerSec,
 		}
 	}
+	if ls := s.Lifecycle; ls.Cycles > 0 {
+		doc["lifecycle"] = map[string]any{
+			"cycles":             ls.Cycles,
+			"promotions":         ls.Promotions,
+			"rejections":         ls.Rejections,
+			"skips":              ls.Skips,
+			"replay_records":     ls.ReplayRecords,
+			"lane_rebuilds":      ls.LaneRebuilds,
+			"retrain_seconds":    ls.RetrainSeconds,
+			"eval_seconds":       ls.EvalSeconds,
+			"generation":         ls.Generation,
+			"last_live_ade":      ls.LastLiveADE,
+			"last_candidate_ade": ls.LastCandidateADE,
+			"last_train_windows": ls.LastTrainWindows,
+			"last_holdout":       ls.LastHoldout,
+		}
+	}
 	writeJSON(w, doc)
 }
 
@@ -448,7 +465,7 @@ func (a *API) handleRoute(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	features = lvrf.Features{ShipType: uint8(shipType), Length: length, Draught: draught}
-	model := a.p.cfg.RouteModel
+	model := a.p.RouteModel()
 	if model == nil {
 		http.Error(w, "route model not configured", http.StatusNotFound)
 		return
@@ -631,6 +648,20 @@ func (a *API) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	counter("seatwin_train_seconds_total", "wall time spent inside training epochs", ts.TrainSeconds)
 	gauge("seatwin_train_last_loss", "most recent per-epoch mean training loss", ts.LastLoss)
 	gauge("seatwin_train_samples_per_second", "lifetime mean training throughput", ts.SamplesPerSec)
+	// Model-lifecycle counters (same unconditional-export rationale):
+	// the background trainer's retrain/shadow-eval/hot-swap loop.
+	ls := s.Lifecycle
+	counter("seatwin_lifecycle_cycles_total", "completed retrain cycles (including skips)", float64(ls.Cycles))
+	counter("seatwin_lifecycle_promotions_total", "candidates that won the shadow eval and were hot-swapped", float64(ls.Promotions))
+	counter("seatwin_lifecycle_rejections_total", "candidates rejected by the promotion gate", float64(ls.Rejections))
+	counter("seatwin_lifecycle_skips_total", "cycles skipped for lack of replayed history", float64(ls.Skips))
+	counter("seatwin_lifecycle_replay_records_total", "records replayed from broker-retained history", float64(ls.ReplayRecords))
+	counter("seatwin_lifecycle_lane_rebuilds_total", "L-VRF lane-graph rebuilds published", float64(ls.LaneRebuilds))
+	counter("seatwin_lifecycle_retrain_seconds_total", "wall time spent training candidates", ls.RetrainSeconds)
+	counter("seatwin_lifecycle_eval_seconds_total", "wall time spent shadow-evaluating candidates", ls.EvalSeconds)
+	gauge("seatwin_lifecycle_generation", "live model weight generation", float64(ls.Generation))
+	gauge("seatwin_lifecycle_last_live_ade_meters", "live model mean ADE on the most recent holdout", ls.LastLiveADE)
+	gauge("seatwin_lifecycle_last_candidate_ade_meters", "candidate mean ADE on the most recent holdout", ls.LastCandidateADE)
 	// Consumer-group lag, one gauge sample per topic+group pair, across
 	// every broker the pipeline touches (cluster forward topics and the
 	// dedicated output streams).

@@ -178,6 +178,12 @@ type Pipeline struct {
 
 	statics sync.Map // ais.MMSI -> ais.StaticVoyage, the shared cache
 
+	// routeModel is the serving L-VRF model behind /api/route, seeded
+	// from Config.RouteModel and hot-swappable at runtime: the lifecycle
+	// trainer publishes a freshly rebuilt lane graph with SetRouteModel
+	// and in-flight requests keep the model they loaded.
+	routeModel atomic.Pointer[lvrf.Model]
+
 	// writerMask routes a vessel to its writer with a power-of-two mask
 	// over the mixed MMSI (len(writers) is rounded up to a power of two).
 	writerMask uint64
@@ -346,6 +352,9 @@ func New(cfg Config) (*Pipeline, error) {
 	p.retryP = cfg.Retry
 	if p.retryP.IsZero() {
 		p.retryP = retry.DefaultPolicy()
+	}
+	if cfg.RouteModel != nil {
+		p.routeModel.Store(cfg.RouteModel)
 	}
 	for i := range p.pairShards {
 		p.pairShards[i].seen = make(map[string]time.Time)
@@ -898,6 +907,9 @@ type Stats struct {
 	// Train is the process-wide training recorder snapshot: non-zero
 	// only in processes that have trained (or retrained) a model.
 	Train metrics.TrainStats
+	// Lifecycle is the process-wide model-lifecycle snapshot: non-zero
+	// only in processes running the background trainer.
+	Lifecycle metrics.LifecycleStats
 }
 
 // Stats snapshots the pipeline counters.
@@ -919,8 +931,18 @@ func (p *Pipeline) Stats() Stats {
 		CheckpointFailures: p.ckptFailures.Value(),
 		Cluster:            p.clusterStats(),
 		Train:              metrics.Training.Snapshot(),
+		Lifecycle:          metrics.Lifecycle.Snapshot(),
 	}
 }
+
+// RouteModel returns the L-VRF model currently serving /api/route (nil
+// when none is configured or published yet).
+func (p *Pipeline) RouteModel() *lvrf.Model { return p.routeModel.Load() }
+
+// SetRouteModel atomically replaces the serving L-VRF model — the
+// lifecycle trainer's lane-graph hot-swap. In-flight requests keep the
+// model they already loaded.
+func (p *Pipeline) SetRouteModel(m *lvrf.Model) { p.routeModel.Store(m) }
 
 // Series returns the Figure 6 samples gathered so far. Pending
 // observations are folded in first so a caller right after Drain sees

@@ -12,7 +12,9 @@
 package svrf
 
 import (
+	"fmt"
 	"io"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -105,26 +107,69 @@ func DefaultConfig() Config {
 type Model struct {
 	cfg Config
 	net *nn.SeqRegressor
+
+	// weightsMu serialises everything that mutates or reads the raw
+	// network weights: Train, SwapWeightsFrom, Clone, ValidationMSE,
+	// Save and the slow compile path. The forecast hot path never takes
+	// it — serving reads go through the compiled snapshot below.
+	weightsMu sync.Mutex
+	// gen counts weight generations. It is bumped (under weightsMu)
+	// every time the weights change; a compiled snapshot is current only
+	// while its recorded generation matches.
+	gen atomic.Uint64
 	// compiled caches the fused inference snapshot of the current
-	// weights (built lazily on first forecast, invalidated by Train).
+	// weights, tagged with the generation it was compiled from.
 	// Forecasting goes through it instead of the reference Predict, so
 	// the vessel-actor hot path runs the zero-allocation kernel.
-	compiled atomic.Pointer[nn.Compiled]
+	compiled atomic.Pointer[compiledSnap]
 }
 
-// compiledNet returns the inference snapshot, compiling on first use.
-// Concurrent first calls may compile twice; one snapshot wins the CAS
-// and the loser is dropped, which is cheaper than a mutex on the path
-// every forecast takes.
+// compiledSnap pairs an inference snapshot with the weight generation
+// it was compiled from, so a snapshot built from weights that have
+// since moved can never be mistaken for current.
+type compiledSnap struct {
+	gen uint64
+	c   *nn.Compiled
+}
+
+// compiledNet returns an inference snapshot of the current weight
+// generation, compiling one on first use or after the weights moved.
+//
+// The fast path is two atomic loads and a comparison — no locks, no
+// allocation. The slow path takes weightsMu so a compile can never
+// overlap a weight mutation: the earlier lock-free design (compile,
+// then CAS over nil) could read half-updated weights while Train was
+// writing them and publish that torn snapshot *after* Train's
+// invalidation, pinning stale weights until the next Train. Tagging
+// snapshots with the generation they came from makes that impossible:
+// a snapshot compiled from generation g is ignored once the live
+// generation has moved past g.
 func (m *Model) compiledNet() *nn.Compiled {
-	if c := m.compiled.Load(); c != nil {
-		return c
+	if s := m.compiled.Load(); s != nil && s.gen == m.gen.Load() {
+		return s.c
+	}
+	return m.compileSlow()
+}
+
+func (m *Model) compileSlow() *nn.Compiled {
+	m.weightsMu.Lock()
+	defer m.weightsMu.Unlock()
+	// Re-check under the lock: another forecaster may have compiled
+	// while this one waited.
+	gen := m.gen.Load()
+	if s := m.compiled.Load(); s != nil && s.gen == gen {
+		return s.c
 	}
 	c := m.net.Compile()
-	if m.compiled.CompareAndSwap(nil, c) {
-		return c
-	}
-	return m.compiled.Load()
+	m.compiled.Store(&compiledSnap{gen: gen, c: c})
+	return c
+}
+
+// publishCompiledLocked compiles the current weights and publishes the
+// snapshot for the current generation. Callers must hold weightsMu and
+// have already bumped gen for the new weights.
+func (m *Model) publishCompiledLocked() {
+	m.compiled.Store(&compiledSnap{gen: m.gen.Load(), c: m.net.Compile()})
 }
 
 // New builds an untrained model.
@@ -291,19 +336,67 @@ func (m *Model) Train(windows []traj.Window, opt TrainOptions) float64 {
 			return true
 		},
 	}
+	// weightsMu is held for the whole fit so no compile can observe
+	// half-updated weights. Forecasts do not block: the previous
+	// generation's snapshot stays published — and valid — for the whole
+	// run (it shares no storage with the live network); the generation
+	// bump below is what retires it.
+	m.weightsMu.Lock()
 	var loss float64
 	if opt.Reference {
 		loss = m.net.Fit(samples, fitOpt)
 	} else {
 		loss = m.net.CompileTrain().Fit(samples, fitOpt)
 	}
+	m.gen.Add(1)
+	m.weightsMu.Unlock()
 	metrics.Training.Run()
-	// The weights moved; drop the stale inference snapshot. The next
-	// forecast recompiles from the new weights. Forecasts already in
-	// flight keep using the old snapshot safely — it shares no storage
-	// with the live network.
-	m.compiled.Store(nil)
 	return loss
+}
+
+// Generation returns the current weight generation: 0 for freshly
+// constructed or loaded weights, incremented by every Train and
+// SwapWeightsFrom. Observability and tests use it to tell whether a
+// hot-swap landed.
+func (m *Model) Generation() uint64 { return m.gen.Load() }
+
+// Clone returns a new Model with the same configuration and a copy of
+// the current weights — the starting point for a warm-started candidate
+// retrain. The clone shares no storage with the receiver.
+func (m *Model) Clone() (*Model, error) {
+	c, err := New(m.cfg)
+	if err != nil {
+		return nil, err
+	}
+	m.weightsMu.Lock()
+	defer m.weightsMu.Unlock()
+	if err := c.net.CopyWeightsFrom(m.net); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// SwapWeightsFrom atomically replaces the receiver's weights with the
+// candidate's — the model-lifecycle hot-swap. The new compiled snapshot
+// is built eagerly under the lock, so the first forecast after a swap
+// serves the new weights without paying a cold compile; forecasts in
+// flight during the swap keep the previous snapshot and never block.
+// The two models must share the same network geometry. Callers must not
+// swap two models into each other concurrently (lock-order inversion).
+func (m *Model) SwapWeightsFrom(candidate *Model) error {
+	if candidate == m {
+		return fmt.Errorf("svrf: cannot swap a model's weights with itself")
+	}
+	candidate.weightsMu.Lock()
+	defer candidate.weightsMu.Unlock()
+	m.weightsMu.Lock()
+	defer m.weightsMu.Unlock()
+	if err := m.net.CopyWeightsFrom(candidate.net); err != nil {
+		return err
+	}
+	m.gen.Add(1)
+	m.publishCompiledLocked()
+	return nil
 }
 
 // ValidationMSE returns the network loss on held-out windows.
@@ -312,14 +405,24 @@ func (m *Model) ValidationMSE(windows []traj.Window) float64 {
 	for i, w := range windows {
 		samples[i] = nn.Sample{Seq: w.Input, Target: w.Target}
 	}
+	m.weightsMu.Lock()
+	defer m.weightsMu.Unlock()
 	return m.net.MSE(samples)
 }
 
 // Save writes the model to w.
-func (m *Model) Save(w io.Writer) error { return m.net.Save(w) }
+func (m *Model) Save(w io.Writer) error {
+	m.weightsMu.Lock()
+	defer m.weightsMu.Unlock()
+	return m.net.Save(w)
+}
 
 // SaveFile writes the model to a file atomically.
-func (m *Model) SaveFile(path string) error { return m.net.SaveFile(path) }
+func (m *Model) SaveFile(path string) error {
+	m.weightsMu.Lock()
+	defer m.weightsMu.Unlock()
+	return m.net.SaveFile(path)
+}
 
 // Load reads a model saved by Save. The svrf Config geometry is
 // recovered from the embedded network configuration.
