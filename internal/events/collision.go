@@ -46,6 +46,50 @@ func DefaultCollisionConfig() CollisionConfig {
 // per step at typical speeds, well inside the spatial threshold.
 const checkStep = 15 * time.Second
 
+// checkStepNanos is checkStep as integer nanoseconds, the unit of the
+// epoch-aligned tick grid below.
+const checkStepNanos = int64(checkStep)
+
+// prefilterMarginMeters is the slack the raw-point prefilter adds to
+// the spatial threshold: how far the vessels can close between raw
+// forecast points (one 5-minute interval at speed). The grid detector's
+// circle prune derives its own slack from this same constant.
+const prefilterMarginMeters = 20000.0
+
+// The pair check samples both trajectories on a Unix-epoch-aligned
+// checkStep grid rather than on a grid anchored at one forecast's start
+// time. Alignment makes the sample times a global property of the clock
+// instead of a property of the pair: every forecast can be interpolated
+// once, at insert, and the precomputed positions serve every pair check
+// it ever participates in (see collision_grid.go). tickTime must be the
+// single conversion both paths use so their time.Time values are
+// identical.
+
+// floorDiv is integer division rounding toward negative infinity.
+func floorDiv(a, b int64) int64 {
+	q := a / b
+	if a%b != 0 && (a < 0) != (b < 0) {
+		q--
+	}
+	return q
+}
+
+// tickRange returns the inclusive range of epoch-aligned ticks covered
+// by the forecast's time span. first > last when the span is too short
+// to contain a tick.
+func tickRange(f Forecast) (first, last int64) {
+	startNs := f.Points[0].At.UnixNano()
+	endNs := f.Points[len(f.Points)-1].At.UnixNano()
+	first = -floorDiv(-startNs, checkStepNanos) // ceil
+	last = floorDiv(endNs, checkStepNanos)
+	return first, last
+}
+
+// tickTime converts a tick index back to its instant.
+func tickTime(k int64) time.Time {
+	return time.Unix(0, k*checkStepNanos).UTC()
+}
+
 // interpAt returns the forecast position at time t, linearly
 // interpolated between forecast points. ok is false outside the
 // forecast's time span.
@@ -91,13 +135,13 @@ func CheckPair(a, b Forecast, cfg CollisionConfig) (Event, bool) {
 			}
 		}
 	}
-	if minRaw > cfg.SpatialThresholdMeters+20000 {
+	if minRaw > cfg.SpatialThresholdMeters+prefilterMarginMeters {
 		return Event{}, false
 	}
 
-	start := a.Points[0].At
-	end := a.Points[len(a.Points)-1].At
-	for t := start; !t.After(end); t = t.Add(checkStep) {
+	firstA, lastA := tickRange(a)
+	for k := firstA; k <= lastA; k++ {
+		t := tickTime(k)
 		pa, ok := interpAt(a, t)
 		if !ok {
 			continue
@@ -170,6 +214,13 @@ func (d *Detector) Update(f Forecast, now time.Time) []Event {
 	d.forecasts[f.MMSI] = f
 	d.stamps[f.MMSI] = now
 	return out
+}
+
+// Seed inserts or refreshes a forecast without running detection — the
+// bulk-preload path benchmarks use.
+func (d *Detector) Seed(f Forecast, now time.Time) {
+	d.forecasts[f.MMSI] = f
+	d.stamps[f.MMSI] = now
 }
 
 // Size returns the number of live forecasts held.

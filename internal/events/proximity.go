@@ -90,6 +90,12 @@ func (p *ProximityDetector) Update(mmsi ais.MMSI, pos geo.Point, at time.Time) [
 	return out
 }
 
+// Seed inserts or refreshes a vessel without running detection — the
+// bulk-preload path benchmarks use.
+func (p *ProximityDetector) Seed(mmsi ais.MMSI, pos geo.Point, at time.Time) {
+	p.last[mmsi] = ForecastPoint{Pos: pos, At: at}
+}
+
 // Size returns the number of vessels tracked in this detector.
 func (p *ProximityDetector) Size() int { return len(p.last) }
 

@@ -1,0 +1,41 @@
+package fleetsim
+
+import (
+	"time"
+
+	"seatwin/internal/geo"
+)
+
+// DenseStraitPorts is a synthetic four-port harbour cluster straddling
+// a Singapore-strait-like channel: two anchorages on each side of a
+// ~10 km crossing, close enough that every route funnels the whole
+// fleet through the same handful of hexgrid cells. It is the ROADMAP #4
+// worst-case shape — thousands of vessels concentrated in a few cells —
+// used by the dense-cell event benchmarks and parity tests.
+var DenseStraitPorts = []Port{
+	{"Strait West A", "XX", geo.Point{Lat: 1.170, Lon: 103.720}},
+	{"Strait West B", "XX", geo.Point{Lat: 1.155, Lon: 103.790}},
+	{"Strait East A", "XX", geo.Point{Lat: 1.245, Lon: 103.850}},
+	{"Strait East B", "XX", geo.Point{Lat: 1.230, Lon: 103.930}},
+}
+
+// DenseStraitWorld creates a fleet of the given size shuttling between
+// the DenseStraitPorts with KeepSailing, so traffic density in the
+// strait cells stays at fleet scale indefinitely. The channel is noise-
+// free deterministic cadence-wise apart from the seeded per-vessel
+// RNGs, keeping parity runs reproducible.
+func DenseStraitWorld(vessels int, seed int64) *World {
+	ch := DefaultChannel
+	// Keep every transmission: dense-cell experiments measure detector
+	// cost per delivered report, and dropouts only thin the traffic.
+	ch.DropProbability = 0
+	ch.BurstOutageRate = 0
+	return NewWorld(Config{
+		Vessels:       vessels,
+		Seed:          seed,
+		PortsOverride: DenseStraitPorts,
+		Channel:       &ch,
+		Start:         time.Date(2021, 11, 2, 0, 0, 0, 0, time.UTC),
+		KeepSailing:   true,
+	})
+}

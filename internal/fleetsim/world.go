@@ -115,6 +115,9 @@ type Config struct {
 	// Region restricts ports and routes to a bounding box; the zero box
 	// means the whole catalog.
 	Region geo.BBox
+	// PortsOverride replaces the catalog entirely (synthetic scenario
+	// worlds like DenseStraitWorld use it); Region filtering is skipped.
+	PortsOverride []Port
 	// Channel defaults to DefaultChannel when zero.
 	Channel     *ChannelConfig
 	Start       time.Time
@@ -135,7 +138,9 @@ func NewWorld(cfg Config) *World {
 	}
 	regional := cfg.Region != (geo.BBox{})
 	ports := Ports
-	if regional {
+	if len(cfg.PortsOverride) >= 2 {
+		ports = cfg.PortsOverride
+	} else if regional {
 		ports = PortsWithin(cfg.Region)
 		if len(ports) < 2 {
 			ports = Ports

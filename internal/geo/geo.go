@@ -102,6 +102,28 @@ func FastDistance(a, b Point) float64 {
 	return EarthRadiusMeters * math.Sqrt(x*x+dLat*dLat)
 }
 
+// FastDistancesInto writes FastDistance(from, pts[i]) into dst[i] for
+// every point. dst must be at least len(pts) long. The arithmetic is
+// element-for-element identical to FastDistance — callers that compare
+// the results against per-pair FastDistance calls (the event detectors'
+// parity tests do) see bitwise-equal values — while the batch form
+// keeps the compiler from reloading the fixed operand per call and
+// bounds-checks dst once.
+func FastDistancesInto(dst []float64, from Point, pts []Point) {
+	if len(pts) == 0 {
+		return
+	}
+	dst = dst[:len(pts)]
+	fLat, fLon := from.Lat, from.Lon
+	for i, p := range pts {
+		meanLat := (fLat + p.Lat) / 2 * degToRad
+		dLat := (p.Lat - fLat) * degToRad
+		dLon := (p.Lon - fLon) * degToRad
+		x := dLon * math.Cos(meanLat)
+		dst[i] = EarthRadiusMeters * math.Sqrt(x*x+dLat*dLat)
+	}
+}
+
 // InitialBearing returns the initial great-circle bearing from a to b in
 // degrees clockwise from true north, in [0, 360).
 func InitialBearing(a, b Point) float64 {

@@ -2,6 +2,7 @@ package geo
 
 import (
 	"math"
+	"math/rand"
 	"testing"
 	"testing/quick"
 )
@@ -332,5 +333,34 @@ func BenchmarkFastDistance(b *testing.B) {
 func BenchmarkDestination(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		Destination(piraeus, 135, 5000)
+	}
+}
+
+// The event detectors' grid fast path relies on the batch kernel being
+// bitwise identical to per-pair FastDistance calls: the parity tests
+// compare distances exactly, so even a reassociated float expression
+// would break them.
+func TestFastDistancesIntoMatchesScalar(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	pts := make([]Point, 257)
+	for i := range pts {
+		pts[i] = Point{
+			Lat: -80 + rng.Float64()*160,
+			Lon: -180 + rng.Float64()*360,
+		}
+	}
+	from := Point{Lat: 37.9, Lon: 23.6}
+	dst := make([]float64, len(pts))
+	FastDistancesInto(dst, from, pts)
+	for i, p := range pts {
+		if want := FastDistance(from, p); dst[i] != want {
+			t.Fatalf("pts[%d]=%v: batch %v != scalar %v", i, p, dst[i], want)
+		}
+	}
+	// Zero-length input must not touch dst.
+	sentinel := []float64{42}
+	FastDistancesInto(sentinel, from, nil)
+	if sentinel[0] != 42 {
+		t.Fatalf("empty input overwrote dst")
 	}
 }

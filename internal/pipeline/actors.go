@@ -247,16 +247,47 @@ func (v *vesselActor) emitEvent(c *actor.Context, e events.Event, _ any) {
 	c.Send(v.p.writerFor(e.A), eventMsg{event: e})
 }
 
+// proximityDetector is the surface a cell actor drives: both the
+// map-scan oracle and the micro-grid fast path satisfy it, selected by
+// Config.UseScanDetectors (the grid is the default).
+type proximityDetector interface {
+	Update(mmsi ais.MMSI, pos geo.Point, at time.Time) []events.Event
+	Size() int
+}
+
+// collisionDetector is the same for the collision actors.
+type collisionDetector interface {
+	Update(f events.Forecast, now time.Time) []events.Event
+	Size() int
+}
+
 // cellActor detects live close proximity among the vessels reporting
 // inside its hexgrid cell neighbourhood.
 type cellActor struct {
 	p          *Pipeline
-	detector   *events.ProximityDetector
+	detector   proximityDetector
+	grid       *events.GridProximityDetector // non-nil on the fast path
 	passivator *passivator
+
+	// Metric bookkeeping: the detector's stats are cumulative and its
+	// occupancy a level, so the actor pushes deltas into the pipeline's
+	// sharded aggregates. hint is the last MMSI seen — it keeps the
+	// passivation decrement on the shard this cell was writing to.
+	tracked   int64
+	lastStats events.DetectorStats
+	hint      uint64
 }
 
 // Receive implements actor.Actor.
 func (a *cellActor) Receive(c *actor.Context) {
+	if _, stopping := c.Message().(actor.Stopping); stopping {
+		// The occupancy gauge drops this cell's tracked entries when it
+		// passivates — handled before touch so the stop is not mistaken
+		// for activity (touch would re-arm the idle timer).
+		a.p.proxDet.tracked.Inc(a.hint, -a.tracked)
+		a.tracked = 0
+		return
+	}
 	if a.passivator.touch(c) {
 		return
 	}
@@ -264,7 +295,12 @@ func (a *cellActor) Receive(c *actor.Context) {
 	if !ok {
 		return
 	}
-	for _, e := range a.detector.Update(m.mmsi, m.pos, m.at) {
+	a.hint = uint64(m.mmsi)
+	start := time.Now()
+	evs := a.detector.Update(m.mmsi, m.pos, m.at)
+	a.p.proxDet.updateLat.Observe(a.hint, time.Since(start))
+	a.pushDetectorStats()
+	for _, e := range evs {
 		a.p.log.Append(e)
 		var em any = eventMsg{event: e}
 		c.Send(a.p.writerFor(e.A), em)
@@ -275,16 +311,43 @@ func (a *cellActor) Receive(c *actor.Context) {
 	}
 }
 
+// pushDetectorStats folds the update's effect into the pipeline-wide
+// aggregates: the occupancy delta always, the candidate funnel only on
+// the grid path (the scan oracle does not track it).
+func (a *cellActor) pushDetectorStats() {
+	size := int64(a.detector.Size())
+	a.p.proxDet.tracked.Inc(a.hint, size-a.tracked)
+	a.tracked = size
+	if a.grid == nil {
+		return
+	}
+	st := a.grid.Stats()
+	a.p.proxDet.candidates.Inc(a.hint, st.Candidates-a.lastStats.Candidates)
+	a.p.proxDet.checked.Inc(a.hint, st.Checked-a.lastStats.Checked)
+	a.p.proxDet.evictions.Inc(a.hint, st.Evicted-a.lastStats.Evicted)
+	a.lastStats = st
+}
+
 // collisionActor forecasts collisions among the predicted trajectories
 // crossing its cell.
 type collisionActor struct {
 	p          *Pipeline
-	detector   *events.Detector
+	detector   collisionDetector
+	grid       *events.GridDetector // non-nil on the fast path
 	passivator *passivator
+
+	tracked   int64
+	lastStats events.DetectorStats
+	hint      uint64
 }
 
 // Receive implements actor.Actor.
 func (a *collisionActor) Receive(c *actor.Context) {
+	if _, stopping := c.Message().(actor.Stopping); stopping {
+		a.p.collDet.tracked.Inc(a.hint, -a.tracked)
+		a.tracked = 0
+		return
+	}
 	if a.passivator.touch(c) {
 		return
 	}
@@ -292,7 +355,12 @@ func (a *collisionActor) Receive(c *actor.Context) {
 	if !ok {
 		return
 	}
-	for _, e := range a.detector.Update(m.forecast, m.at) {
+	a.hint = uint64(m.forecast.MMSI)
+	start := time.Now()
+	evs := a.detector.Update(m.forecast, m.at)
+	a.p.collDet.updateLat.Observe(a.hint, time.Since(start))
+	a.pushDetectorStats()
+	for _, e := range evs {
 		// Several collision actors can see the same pair (the forecast
 		// is shared with every touched cell and its neighbours); the
 		// pipeline deduplicates system-wide.
@@ -305,6 +373,22 @@ func (a *collisionActor) Receive(c *actor.Context) {
 		a.p.notifyVessel(c, e.A, em, e)
 		a.p.notifyVessel(c, e.B, em, e)
 	}
+}
+
+// pushDetectorStats mirrors cellActor.pushDetectorStats for the
+// collision family.
+func (a *collisionActor) pushDetectorStats() {
+	size := int64(a.detector.Size())
+	a.p.collDet.tracked.Inc(a.hint, size-a.tracked)
+	a.tracked = size
+	if a.grid == nil {
+		return
+	}
+	st := a.grid.Stats()
+	a.p.collDet.candidates.Inc(a.hint, st.Candidates-a.lastStats.Candidates)
+	a.p.collDet.checked.Inc(a.hint, st.Checked-a.lastStats.Checked)
+	a.p.collDet.evictions.Inc(a.hint, st.Evicted-a.lastStats.Evicted)
+	a.lastStats = st
 }
 
 // writerActor persists actor outputs into the kvstore middleware: the

@@ -131,6 +131,19 @@ func (a *API) handleHealth(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, map[string]string{"status": "ok"})
 }
 
+// detectionDoc renders one detector family's telemetry for /api/stats.
+func detectionDoc(d DetectionStats) map[string]any {
+	return map[string]any{
+		"update_mean":   d.UpdateLatency.Mean.String(),
+		"update_p99":    d.UpdateLatency.P99.String(),
+		"updates":       d.UpdateLatency.Count,
+		"candidates":    d.Candidates,
+		"pairs_checked": d.Checked,
+		"evictions":     d.Evicted,
+		"tracked":       d.Tracked,
+	}
+}
+
 func (a *API) handleStats(w http.ResponseWriter, _ *http.Request) {
 	s := a.p.Stats()
 	doc := map[string]any{
@@ -151,6 +164,11 @@ func (a *API) handleStats(w http.ResponseWriter, _ *http.Request) {
 		"checkpoint_saves":    s.CheckpointSaves,
 		"checkpoint_restores": s.CheckpointRestores,
 		"checkpoint_failures": s.CheckpointFailures,
+
+		"events_detection": map[string]any{
+			"proximity": detectionDoc(s.ProximityDetection),
+			"collision": detectionDoc(s.CollisionDetection),
+		},
 	}
 	if v := a.p.cfg.Views; v != nil {
 		vs := v.Stats()
@@ -581,6 +599,29 @@ func (a *API) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 		fmt.Fprintf(&b, "seatwin_svrf_infer_seconds{quantile=%q} %g\n", q.label, q.v.Seconds())
 	}
 	fmt.Fprintf(&b, "seatwin_svrf_infer_seconds_count %d\n", s.InferLatency.Count)
+	// Event-detection layer (DESIGN.md §16): per-family detector update
+	// summaries plus the candidate-pair funnel and occupancy. Exported
+	// unconditionally (all zero before the first report) so dashboards
+	// never hit a missing series.
+	for _, fam := range []struct {
+		name string
+		d    DetectionStats
+	}{{"proximity", s.ProximityDetection}, {"collision", s.CollisionDetection}} {
+		base := "seatwin_events_" + fam.name
+		fmt.Fprintf(&b, "# HELP %s_update_seconds %s detector update time per report\n", base, fam.name)
+		fmt.Fprintf(&b, "# TYPE %s_update_seconds summary\n", base)
+		for _, q := range []struct {
+			label string
+			v     time.Duration
+		}{{"0.5", fam.d.UpdateLatency.P50}, {"0.95", fam.d.UpdateLatency.P95}, {"0.99", fam.d.UpdateLatency.P99}} {
+			fmt.Fprintf(&b, "%s_update_seconds{quantile=%q} %g\n", base, q.label, q.v.Seconds())
+		}
+		fmt.Fprintf(&b, "%s_update_seconds_count %d\n", base, fam.d.UpdateLatency.Count)
+		counter(base+"_candidates_total", fam.name+" pair candidates surviving the spatial probe", float64(fam.d.Candidates))
+		counter(base+"_pairs_checked_total", fam.name+" candidate pairs fully distance-checked", float64(fam.d.Checked))
+		counter(base+"_evictions_total", "stale "+fam.name+" detector entries evicted", float64(fam.d.Evicted))
+		gauge(base+"_tracked", "entries tracked across live "+fam.name+" cells", float64(fam.d.Tracked))
+	}
 	if hub := a.p.cfg.Feed; hub != nil {
 		fs := hub.Snapshot()
 		gauge("seatwin_feed_subscribers", "live feed subscribers connected", float64(fs.Subscribers))

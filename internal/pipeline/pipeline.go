@@ -47,6 +47,12 @@ type Config struct {
 	Collision events.CollisionConfig
 	Proximity events.ProximityConfig
 	SwitchOff events.SwitchOffConfig
+	// UseScanDetectors reverts the cell and collision actors to the
+	// original map-scan detectors instead of the spatial micro-grid fast
+	// paths (see DESIGN.md §16). The scan detectors are kept as parity
+	// oracles and for A/B benchmarking; event output is identical on
+	// either path, only the per-report cost differs.
+	UseScanDetectors bool
 	// HistoryLimit bounds the reports retained per vessel actor; it
 	// must cover the model's input requirement with margin.
 	HistoryLimit int
@@ -218,6 +224,13 @@ type Pipeline struct {
 	ckptRestores   *metrics.ShardedCounter // vessel windows rehydrated on spawn
 	ckptFailures   *metrics.ShardedCounter // saves/loads lost after retries
 
+	// Event-detection observability (seatwin_events_*): per-family
+	// update timing, candidate funnel and tracked-entry occupancy,
+	// maintained by the cell and collision actors from their detectors'
+	// cumulative stats (delta-pushed, so the actors stay lock-free).
+	proxDet detectorMetrics
+	collDet detectorMetrics
+
 	// assembler reassembles multi-fragment AIVDM input for IngestNMEA.
 	assembler *ais.Assembler
 
@@ -247,6 +260,49 @@ type pairShard struct {
 	mu   sync.Mutex
 	seen map[string]time.Time
 	_    [48]byte
+}
+
+// detectorMetrics is one detector family's observability surface: the
+// per-update latency summary, the candidate-pair funnel (candidates
+// surviving the spatial probe, pairs fully checked, entries evicted)
+// and the live tracked-entry occupancy across every cell of the
+// family. All sharded — the single-threaded spatial actors push deltas
+// keyed by MMSI without contending.
+type detectorMetrics struct {
+	updateLat  *metrics.ShardedLatencyRecorder
+	candidates *metrics.ShardedCounter
+	checked    *metrics.ShardedCounter
+	evictions  *metrics.ShardedCounter
+	tracked    *metrics.ShardedCounter // gauge: Size() deltas, decremented on passivation
+}
+
+func newDetectorMetrics() detectorMetrics {
+	return detectorMetrics{
+		updateLat:  metrics.NewShardedLatencyRecorder(0, 1<<15),
+		candidates: metrics.NewShardedCounter(0),
+		checked:    metrics.NewShardedCounter(0),
+		evictions:  metrics.NewShardedCounter(0),
+		tracked:    metrics.NewShardedCounter(0),
+	}
+}
+
+// DetectionStats is one detector family's snapshot in Stats.
+type DetectionStats struct {
+	UpdateLatency metrics.Snapshot
+	Candidates    int64
+	Checked       int64
+	Evicted       int64
+	Tracked       int64
+}
+
+func (m *detectorMetrics) snapshot() DetectionStats {
+	return DetectionStats{
+		UpdateLatency: m.updateLat.Snapshot(),
+		Candidates:    m.candidates.Value(),
+		Checked:       m.checked.Value(),
+		Evicted:       m.evictions.Value(),
+		Tracked:       m.tracked.Value(),
+	}
 }
 
 // Congestion returns the port-congestion monitor, or nil when port
@@ -344,6 +400,9 @@ func New(cfg Config) (*Pipeline, error) {
 		ckptSaves:      metrics.NewShardedCounter(0),
 		ckptRestores:   metrics.NewShardedCounter(0),
 		ckptFailures:   metrics.NewShardedCounter(0),
+
+		proxDet: newDetectorMetrics(),
+		collDet: newDetectorMetrics(),
 	}
 	p.kv = store
 	if cfg.Chaos != nil {
@@ -829,11 +888,20 @@ func (p *Pipeline) proximityActor(cell hexgrid.Cell) *actor.PID {
 
 func (p *Pipeline) proximityActorSlow(cell hexgrid.Cell) *actor.PID {
 	pid, _ := p.system.GetOrSpawn(proximityActorName(cell), actor.PropsFromProducer(func() actor.Actor {
-		return &cellActor{
+		a := &cellActor{
 			p:          p,
-			detector:   events.NewProximityDetector(p.cfg.Proximity),
 			passivator: newPassivator(p.idleTimeout()),
 		}
+		// The micro-grid fast path is the default; the map-scan oracle
+		// stays selectable for A/B runs (the grid pointer also gates the
+		// candidate-funnel stats, which only the grid detector tracks).
+		if p.cfg.UseScanDetectors {
+			a.detector = events.NewProximityDetector(p.cfg.Proximity)
+		} else {
+			a.grid = events.NewGridProximityDetector(p.cfg.Proximity)
+			a.detector = a.grid
+		}
+		return a
 	}))
 	p.proximityRoutes.put(uint64(cell), pid)
 	return pid
@@ -850,11 +918,17 @@ func (p *Pipeline) collisionActor(cell hexgrid.Cell) *actor.PID {
 
 func (p *Pipeline) collisionActorSlow(cell hexgrid.Cell) *actor.PID {
 	pid, _ := p.system.GetOrSpawn(collisionActorName(cell), actor.PropsFromProducer(func() actor.Actor {
-		return &collisionActor{
+		a := &collisionActor{
 			p:          p,
-			detector:   events.NewDetector(p.cfg.Collision, 10*time.Minute),
 			passivator: newPassivator(p.idleTimeout()),
 		}
+		if p.cfg.UseScanDetectors {
+			a.detector = events.NewDetector(p.cfg.Collision, 10*time.Minute)
+		} else {
+			a.grid = events.NewGridDetector(p.cfg.Collision, 10*time.Minute)
+			a.detector = a.grid
+		}
+		return a
 	}))
 	p.collisionRoutes.put(uint64(cell), pid)
 	return pid
@@ -901,6 +975,12 @@ type Stats struct {
 	CheckpointSaves    int64
 	CheckpointRestores int64
 	CheckpointFailures int64
+	// ProximityDetection and CollisionDetection are the event-detection
+	// layer's per-family telemetry: detector update timing, the
+	// candidate-pair funnel and live tracked-entry occupancy across all
+	// cells (see DESIGN.md §16).
+	ProximityDetection DetectionStats
+	CollisionDetection DetectionStats
 	// Cluster is the worker's cluster counters, nil in single-process
 	// mode.
 	Cluster *ClusterStats
@@ -929,6 +1009,8 @@ func (p *Pipeline) Stats() Stats {
 		CheckpointSaves:    p.ckptSaves.Value(),
 		CheckpointRestores: p.ckptRestores.Value(),
 		CheckpointFailures: p.ckptFailures.Value(),
+		ProximityDetection: p.proxDet.snapshot(),
+		CollisionDetection: p.collDet.snapshot(),
 		Cluster:            p.clusterStats(),
 		Train:              metrics.Training.Snapshot(),
 		Lifecycle:          metrics.Lifecycle.Snapshot(),
